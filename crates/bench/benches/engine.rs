@@ -1,0 +1,114 @@
+//! Microbenchmarks of the simulation substrates: event queue, RNG,
+//! energy meter, graph algorithms, and a short end-to-end run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eend_graph::{paths, steiner, Graph};
+use eend_radio::{cards, EnergyMeter, TrafficClass};
+use eend_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use eend_wireless::{presets, stacks, Simulator};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc ^= v;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next_f64_1M", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000_000 {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_energy_meter(c: &mut Criterion) {
+    c.bench_function("energy_meter/100k_transitions", |b| {
+        let card = cards::cabletron();
+        b.iter(|| {
+            let mut m = EnergyMeter::new(card);
+            let mut t = SimTime::ZERO;
+            for i in 0..100_000u64 {
+                t += SimDuration::from_micros(50);
+                match i % 4 {
+                    0 => m.begin_tx(t, 1399.0, TrafficClass::Data),
+                    1 => m.begin_rx(t, TrafficClass::Control),
+                    2 => m.set_idle(t),
+                    _ => m.set_sleep(t),
+                }
+            }
+            black_box(m.finish(t).total_mj())
+        })
+    });
+}
+
+fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = SimRng::new(seed);
+    let mut g = Graph::new(n);
+    let mut added = 0;
+    while added < m {
+        let u = rng.range_usize(0, n);
+        let v = rng.range_usize(0, n);
+        if u != v && g.edge_between(u, v).is_none() {
+            g.add_edge(u, v, rng.range_f64(1.0, 100.0));
+            added += 1;
+        }
+    }
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let g = random_graph(500, 3_000, 3);
+    c.bench_function("graph/dijkstra_500n_3000e", |b| {
+        b.iter(|| black_box(paths::dijkstra(&g, 0).dist[499]))
+    });
+    let terminals: Vec<usize> = (0..10).collect();
+    c.bench_function("graph/steiner_2approx_500n_10t", |b| {
+        b.iter(|| black_box(steiner::steiner_tree_2approx(&g, &terminals).map(|s| s.weight)))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("small_net_30s_titan_pc", |b| {
+        b.iter(|| {
+            let mut sc = presets::small_network(stacks::titan_pc(), 4.0, 1);
+            sc.duration = SimDuration::from_secs(30);
+            black_box(Simulator::new(&sc).run().data_delivered)
+        })
+    });
+    group.bench_function("small_net_30s_dsdvh", |b| {
+        b.iter(|| {
+            let mut sc = presets::small_network(stacks::dsdvh_odpm(), 4.0, 1);
+            sc.duration = SimDuration::from_secs(30);
+            black_box(Simulator::new(&sc).run().data_delivered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_energy_meter,
+    bench_graph,
+    bench_simulation
+);
+criterion_main!(benches);

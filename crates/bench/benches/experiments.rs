@@ -1,0 +1,140 @@
+//! One reduced configuration per paper experiment, as Criterion benches —
+//! `cargo bench` exercises every table/figure code path and tracks its
+//! wall cost. The full-scale regenerations are the `src/bin/*` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eend_core::analysis;
+use eend_core::design::{CommMetric, Designer, Heuristic};
+use eend_core::evaluate::{evaluate, EvalParams};
+use eend_core::{Demand, DesignProblem, WirelessInstance};
+use eend_radio::cards;
+use eend_sim::{SimDuration, SimRng};
+use eend_wireless::{presets, project, stacks, Placement, ProjectionParams, Scheduling, Simulator};
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7/mopt_sweep_all_cards", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for card in cards::all() {
+                for (_, m) in analysis::fig7_series(&card, 0.1, 0.5, 64) {
+                    acc += m;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_small_net_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_9");
+    group.sample_size(10);
+    for stack in [stacks::titan_pc(), stacks::dsr_active()] {
+        let name = format!("small_20s_{}", stack.name);
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut sc = presets::small_network(stack.clone(), 4.0, 1);
+                sc.duration = SimDuration::from_secs(20);
+                black_box(Simulator::new(&sc).run().energy_goodput_bit_per_j())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_large_net_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_12");
+    group.sample_size(10);
+    group.bench_function("large_20s_titan_pc", |b| {
+        b.iter(|| {
+            let mut sc = presets::large_network(stacks::titan_pc(), 4.0, 1);
+            sc.duration = SimDuration::from_secs(20);
+            black_box(Simulator::new(&sc).run().energy_goodput_bit_per_j())
+        })
+    });
+    group.finish();
+}
+
+fn bench_density_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("density300_15s_titan_pc", |b| {
+        b.iter(|| {
+            let mut sc = presets::density_network(stacks::titan_pc(), 300, 1);
+            sc.duration = SimDuration::from_secs(15);
+            black_box(Simulator::new(&sc).run().delivery_ratio())
+        })
+    });
+    group.finish();
+}
+
+fn bench_grid_projection(c: &mut Criterion) {
+    // Stabilise once; benchmark the projection math (the hot loop of
+    // figs 13-16).
+    let mut sc = presets::grid_hypothetical(stacks::titan_pc(), 2.0, 1);
+    sc.duration = SimDuration::from_secs(40);
+    let routes = Simulator::new(&sc).run().routes;
+    let positions = Placement::Grid { rows: 7, cols: 7, width: 300.0, height: 300.0 }
+        .positions(&mut SimRng::new(0));
+    let card = cards::hypothetical_cabletron();
+    c.bench_function("fig13_16/projection_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for rate in [2.0, 5.0, 50.0, 200.0] {
+                for sched in [Scheduling::Perfect, Scheduling::odpm_paper()] {
+                    acc += project(
+                        &positions,
+                        &card,
+                        &routes,
+                        &ProjectionParams {
+                            duration_s: 900.0,
+                            bandwidth_bps: 2e6,
+                            rate_bps: rate * 1000.0,
+                            power_control: true,
+                            scheduling: sched,
+                        },
+                    )
+                    .enetwork_j;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_designers(c: &mut Criterion) {
+    let mut rng = SimRng::new(5);
+    let positions: Vec<(f64, f64)> =
+        (0..60).map(|_| (rng.range_f64(0.0, 700.0), rng.range_f64(0.0, 700.0))).collect();
+    let inst = WirelessInstance::new(positions, cards::cabletron());
+    let demands: Vec<Demand> = (0..10)
+        .map(|i| Demand::new(i, 59 - i, 4000.0))
+        .collect();
+    let problem = DesignProblem::new(inst, demands);
+    let mut group = c.benchmark_group("designers");
+    for h in [
+        Heuristic::IdleFirst,
+        Heuristic::CommFirst(CommMetric::RadiatedPower),
+        Heuristic::Joint { use_rate: true, bandwidth_bps: 2e6 },
+        Heuristic::MpcSteiner,
+    ] {
+        group.bench_function(h.name(), |b| {
+            b.iter(|| {
+                let d = h.design(&problem);
+                let e = evaluate(&problem, &d, &EvalParams::standard(900.0));
+                black_box(e.enetwork_j())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig7,
+    bench_small_net_point,
+    bench_large_net_point,
+    bench_density_point,
+    bench_grid_projection,
+    bench_designers
+);
+criterion_main!(benches);

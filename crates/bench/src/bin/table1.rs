@@ -1,0 +1,29 @@
+//! Regenerates **Table 1**: radio parameters for the studied cards.
+//!
+//! ```text
+//! cargo run --release -p eend-bench --bin table1
+//! ```
+
+use eend_radio::cards;
+use eend_stats::Table;
+
+fn main() {
+    let mut t = Table::new(vec!["Card", "Pidle (mW)", "Prx (mW)", "Ptx(d) (mW, d in m)", "D (m)"]);
+    for c in cards::all() {
+        t.row(vec![
+            c.name.to_string(),
+            format!("{}", c.p_idle_mw),
+            format!("{}", c.p_rx_mw),
+            format!("{} + {:.1e}·d^{}", c.p_base_mw, c.alpha2, c.path_loss_n),
+            format!("{}", c.nominal_range_m),
+        ]);
+    }
+    println!("Table 1: radio parameters for the studied wireless cards\n");
+    println!("{t}");
+    println!(
+        "Max radiated power: Cabletron {:.0} mW, Hypothetical Cabletron {:.1} W \
+         (> FCC 1 W cap — the Section 5.1 argument).",
+        cards::cabletron().max_radiated_power_mw(),
+        cards::hypothetical_cabletron().max_radiated_power_mw() / 1000.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table 2**: performance with node density — DSR-ODPM-PC
+//! vs TITAN-PC at 300 and 400 nodes (1300×1300 m², 20 flows at 4 Kb/s,
+//! fixed endpoints).
+//!
+//! ```text
+//! cargo run --release -p eend-bench --bin table2 [-- --full]
+//! ```
+
+use eend_bench::HarnessOpts;
+use eend_stats::{Summary, Table};
+use eend_wireless::{presets, stacks, Simulator};
+
+fn main() {
+    let opts = HarnessOpts::from_args(2, 10, 150);
+    let protocols = [stacks::dsr_odpm_pc(), stacks::titan_pc()];
+    let densities = [300usize, 400];
+
+    let mut delivery = Table::new(vec!["# of nodes", "DSR-ODPM-PC", "TITAN-PC"]);
+    let mut goodput = Table::new(vec!["# of nodes", "DSR-ODPM-PC", "TITAN-PC"]);
+    for &n in &densities {
+        let mut dr_cells = vec![n.to_string()];
+        let mut gp_cells = vec![n.to_string()];
+        for stack in &protocols {
+            let mut dr = Vec::new();
+            let mut gp = Vec::new();
+            for seed in 0..opts.seeds {
+                let sc = opts.tune(presets::density_network(stack.clone(), n, seed + 1));
+                let m = Simulator::new(&sc).run();
+                dr.push(m.delivery_ratio());
+                gp.push(m.energy_goodput_bit_per_j());
+            }
+            dr_cells.push(format!("{}", Summary::from_samples(&dr)));
+            gp_cells.push(format!("{:.3}", Summary::from_samples(&gp)));
+        }
+        delivery.row(dr_cells);
+        goodput.row(gp_cells);
+    }
+    println!("Table 2: performance with node density (4 Kb/s, fixed endpoints)\n");
+    println!("Delivery Ratio");
+    println!("{delivery}");
+    println!("Energy Goodput (bit/J)");
+    println!("{goodput}");
+    println!(
+        "Paper shape: DSR-ODPM-PC's discovery overhead explodes with density\n\
+         (0.93 → 0.41 delivery from 300 to 400 nodes) while TITAN-PC holds,\n\
+         because mostly-backbone nodes answer route discovery. ({} seeds{})",
+        opts.seeds,
+        if opts.full { ", full scale" } else { ", quick mode" }
+    );
+}

@@ -1,0 +1,164 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Every `eend-bench` binary reproduces one table or figure of
+//! Sengul & Kravets (ICDCS 2007); see DESIGN.md for the full index. Each
+//! accepts:
+//!
+//! - `--quick` (default): reduced horizons/seed counts — minutes, same
+//!   qualitative shape;
+//! - `--full`: the paper's exact scale (900/600 s, 5–10 seeds) — slower;
+//! - `--seeds N`, `--secs S`: explicit overrides.
+
+#![warn(missing_docs)]
+
+use eend_stats::Series;
+use eend_wireless::{ProtocolStack, RunMetrics, Scenario, Simulator};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessOpts {
+    /// Run at the paper's full scale.
+    pub full: bool,
+    /// Seeded runs per configuration point.
+    pub seeds: u64,
+    /// Simulated seconds per run (`None` = the preset's own duration).
+    pub secs_override: Option<u64>,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`. Unknown arguments abort with usage help.
+    ///
+    /// `quick_seeds`/`full_seeds` are the defaults for the two modes;
+    /// `quick_secs` trims each run in quick mode.
+    pub fn from_args(quick_seeds: u64, full_seeds: u64, quick_secs: u64) -> HarnessOpts {
+        let mut opts = HarnessOpts { full: false, seeds: 0, secs_override: Some(quick_secs) };
+        let mut seeds_arg = None;
+        let mut secs_arg = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => opts.full = true,
+                "--quick" => opts.full = false,
+                "--seeds" => {
+                    seeds_arg = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--seeds needs a number")),
+                    )
+                }
+                "--secs" => {
+                    secs_arg = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--secs needs a number")),
+                    )
+                }
+                other => usage(&format!("unknown argument {other}")),
+            }
+        }
+        if opts.full {
+            opts.secs_override = None;
+        }
+        opts.seeds = seeds_arg.unwrap_or(if opts.full { full_seeds } else { quick_seeds });
+        if let Some(s) = secs_arg {
+            opts.secs_override = Some(s);
+        }
+        opts
+    }
+
+    /// Applies the duration override to a preset scenario.
+    pub fn tune(&self, mut scenario: Scenario) -> Scenario {
+        if let Some(secs) = self.secs_override {
+            scenario.duration = eend_sim::SimDuration::from_secs(secs);
+        }
+        scenario
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: [--quick|--full] [--seeds N] [--secs S]");
+    std::process::exit(2)
+}
+
+/// Runs `make_scenario(stack, rate, seed)` for every seed — in parallel,
+/// one OS thread per seed (runs are independent and deterministic, so
+/// parallelism cannot change results) — and returns the per-run metrics
+/// in seed order.
+pub fn runs(
+    opts: &HarnessOpts,
+    stack: &ProtocolStack,
+    rate_kbps: f64,
+    make_scenario: impl Fn(ProtocolStack, f64, u64) -> Scenario + Sync,
+) -> Vec<RunMetrics> {
+    let scenarios: Vec<Scenario> = (0..opts.seeds)
+        .map(|seed| opts.tune(make_scenario(stack.clone(), rate_kbps, seed + 1)))
+        .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .map(|sc| scope.spawn(move || Simulator::new(sc).run()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
+    })
+}
+
+/// Sweeps `rates` for each stack, extracting `metric` per run, and
+/// returns one [`Series`] per stack — exactly one figure's line set.
+pub fn sweep_figure(
+    opts: &HarnessOpts,
+    stacks: &[ProtocolStack],
+    rates: &[f64],
+    make_scenario: impl Fn(ProtocolStack, f64, u64) -> Scenario + Copy + Sync,
+    metric: impl Fn(&RunMetrics) -> f64,
+) -> Vec<Series> {
+    stacks
+        .iter()
+        .map(|stack| {
+            let mut series = Series::new(&stack.name);
+            for &rate in rates {
+                let samples: Vec<f64> =
+                    runs(opts, stack, rate, make_scenario).iter().map(&metric).collect();
+                series.push(rate, &samples);
+            }
+            series
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eend_wireless::{presets, stacks};
+
+    #[test]
+    fn tune_overrides_duration() {
+        let opts = HarnessOpts { full: false, seeds: 1, secs_override: Some(30) };
+        let sc = opts.tune(presets::small_network(stacks::dsr_active(), 2.0, 1));
+        assert_eq!(sc.duration, eend_sim::SimDuration::from_secs(30));
+        let full = HarnessOpts { full: true, seeds: 1, secs_override: None };
+        let sc = full.tune(presets::small_network(stacks::dsr_active(), 2.0, 1));
+        assert_eq!(sc.duration, eend_sim::SimDuration::from_secs(900));
+    }
+
+    #[test]
+    fn sweep_produces_one_series_per_stack() {
+        let opts = HarnessOpts { full: false, seeds: 1, secs_override: Some(30) };
+        let stacks = vec![stacks::dsr_active(), stacks::dsr_odpm()];
+        let series = sweep_figure(
+            &opts,
+            &stacks,
+            &[2.0, 4.0],
+            presets::small_network,
+            |m| m.delivery_ratio(),
+        );
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].points.len(), 2);
+        assert_eq!(series[0].label, "DSR-Active");
+        for s in &series {
+            for p in &s.points {
+                assert!((0.0..=1.0).contains(&p.summary.mean));
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The Section 5.1 analytical study: route energy and the characteristic
+//! hop count (Eqs 13–15, Fig 7, Table 1 feasibility claims).
+//!
+//! Given two nodes a distance `D` apart that can also transmit directly,
+//! is it ever cheaper to insert relays? The paper derives the *optimal
+//! hop count* `m_opt` minimising end-to-end route energy `E_r` (Eq 14)
+//! under equal hop spacing, and shows that for every real card in Table 1
+//! `m_opt < 2` for all utilisations — i.e. power-control-first routing
+//! (PARO/MTPR-style relaying) cannot save energy.
+
+use eend_radio::RadioCard;
+
+/// FCC Part 15 radiated-power cap in the 2.4 GHz ISM band: 1 W.
+pub const FCC_MAX_RADIATED_MW: f64 = 1_000.0;
+
+/// ETSI EN 300 328 radiated-power cap: 100 mW.
+pub const ETSI_MAX_RADIATED_MW: f64 = 100.0;
+
+fn check_utilization(q: f64) {
+    assert!(
+        q > 0.0 && q <= 0.5,
+        "bandwidth utilisation R/B must lie in (0, 0.5], got {q} \
+         (0.5 is full duplex-free utilisation: every relay both receives and forwards)"
+    );
+}
+
+/// End-to-end route energy `E_r` (Eq 14) in joules for a route of `m`
+/// equal hops covering total distance `d_total_m`, at bandwidth
+/// utilisation `q = R/B`, over `duration_s` seconds.
+///
+/// All `m+1` nodes are assumed awake (AM), matching the paper's setting;
+/// control traffic and switching are ignored.
+///
+/// `m` is continuous (the derivation treats hop count as real-valued;
+/// integrality only enters via [`characteristic_hop_count`]).
+///
+/// # Panics
+///
+/// Panics if `m ≤ 0`, the distance is not positive, or `q ∉ (0, 0.5]`.
+pub fn route_energy_j(card: &RadioCard, m: f64, d_total_m: f64, q: f64, duration_s: f64) -> f64 {
+    assert!(m > 0.0, "hop count must be positive, got {m}");
+    assert!(d_total_m > 0.0, "distance must be positive");
+    check_utilization(q);
+    let hop = d_total_m / m;
+    let ptx = card.tx_total_power_mw(hop);
+    // q·t·(Σ Ptx + m·Prx): m transmissions and m receptions, each active a
+    // fraction q of the time.
+    let comm_mj = q * duration_s * (m * ptx + m * card.p_rx_mw);
+    // Remaining node-time idles: (m+1)·t − 2m·q·t.
+    let idle_mj = (m + 1.0 - 2.0 * m * q) * duration_s * card.p_idle_mw;
+    (comm_mj + idle_mj) / 1000.0
+}
+
+/// The real-valued optimal hop count `m_opt` (Eq 15):
+///
+/// ```text
+/// m_opt = D · ⁿ√( (n−1)·α₂ / (Pbase + Prx + (1−2q)/q · Pidle) )
+/// ```
+///
+/// # Panics
+///
+/// Panics if the distance is not positive or `q ∉ (0, 0.5]`.
+pub fn optimal_hop_count(card: &RadioCard, d_total_m: f64, q: f64) -> f64 {
+    assert!(d_total_m > 0.0, "distance must be positive");
+    check_utilization(q);
+    let n = card.path_loss_n;
+    let idle_coeff = (1.0 - 2.0 * q) / q;
+    let denom = card.p_base_mw + card.p_rx_mw + idle_coeff * card.p_idle_mw;
+    ((n - 1.0) * card.alpha2 / denom).powf(1.0 / n) * d_total_m
+}
+
+/// The *characteristic hop count*: `⌈m_opt⌉` if `m_opt < 1`, else
+/// `⌊m_opt⌋` (the paper's integralisation rule). Always ≥ 1.
+pub fn characteristic_hop_count(card: &RadioCard, d_total_m: f64, q: f64) -> u32 {
+    let m = optimal_hop_count(card, d_total_m, q);
+    if m < 1.0 {
+        m.ceil().max(1.0) as u32
+    } else {
+        m.floor() as u32
+    }
+}
+
+/// `true` if inserting relays between two in-range nodes saves energy —
+/// by definition, the characteristic hop count must reach 2.
+pub fn relaying_beneficial(card: &RadioCard, d_total_m: f64, q: f64) -> bool {
+    characteristic_hop_count(card, d_total_m, q) >= 2
+}
+
+/// One curve of Fig 7: `m_opt` at each utilisation in a uniform sweep of
+/// `[q_lo, q_hi]` with `steps` points, at the card's nominal range.
+pub fn fig7_series(card: &RadioCard, q_lo: f64, q_hi: f64, steps: usize) -> Vec<(f64, f64)> {
+    assert!(steps >= 2, "need at least two sweep points");
+    check_utilization(q_lo);
+    check_utilization(q_hi);
+    assert!(q_lo < q_hi, "empty sweep range");
+    (0..steps)
+        .map(|i| {
+            let q = q_lo + (q_hi - q_lo) * i as f64 / (steps - 1) as f64;
+            (q, optimal_hop_count(card, card.nominal_range_m, q))
+        })
+        .collect()
+}
+
+/// `true` if the card's maximum radiated power violates the given
+/// regulatory cap (the paper's argument against the Hypothetical
+/// Cabletron: reaching `m_opt ≥ 2` needs ~20 W, far past FCC's 1 W).
+pub fn exceeds_cap(card: &RadioCard, cap_mw: f64) -> bool {
+    card.max_radiated_power_mw() > cap_mw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eend_radio::cards;
+    use proptest::prelude::*;
+
+    #[test]
+    fn real_cards_never_justify_relays() {
+        // The paper's central Fig 7 claim: m_opt < 2 for all real cards at
+        // every utilisation.
+        let real = [
+            cards::aironet_350(),
+            cards::cabletron(),
+            cards::mica2(),
+            cards::leach_n4(1.0),
+            cards::leach_n2(1.0),
+        ];
+        for card in real {
+            for i in 1..=50 {
+                let q = 0.01 * i as f64 / 2.0 + 0.0; // 0.005..0.25 — extend:
+                let q = (q * 2.0).clamp(0.01, 0.5);
+                let m = optimal_hop_count(&card, card.nominal_range_m, q);
+                assert!(m < 2.0, "{} at q={q}: m_opt={m}", card.name);
+                assert!(!relaying_beneficial(&card, card.nominal_range_m, q));
+            }
+        }
+    }
+
+    #[test]
+    fn hypothetical_crosses_two_at_quarter_utilisation() {
+        // α₂ = 5.2e-6 was chosen so m_opt ≥ 2 at R/B = 0.25 (Section 5.1).
+        let h = cards::hypothetical_cabletron();
+        let m = optimal_hop_count(&h, 250.0, 0.25);
+        assert!(m >= 2.0, "m_opt = {m}");
+        assert!((m - 2.0).abs() < 0.05, "the paper tuned α₂ to sit just above 2, got {m}");
+        assert!(relaying_beneficial(&h, 250.0, 0.25));
+        // But below that utilisation the idle term pushes it under 2.
+        assert!(!relaying_beneficial(&h, 250.0, 0.1));
+    }
+
+    #[test]
+    fn hypothetical_violates_fcc_and_etsi() {
+        let h = cards::hypothetical_cabletron();
+        assert!(exceeds_cap(&h, FCC_MAX_RADIATED_MW));
+        assert!(exceeds_cap(&h, ETSI_MAX_RADIATED_MW));
+        // The real Cabletron respects FCC (281 mW < 1 W) but not ETSI.
+        let c = cards::cabletron();
+        assert!(!exceeds_cap(&c, FCC_MAX_RADIATED_MW));
+        assert!(exceeds_cap(&c, ETSI_MAX_RADIATED_MW));
+        // Mica2 respects both (20 mW).
+        let m = cards::mica2();
+        assert!(!exceeds_cap(&m, ETSI_MAX_RADIATED_MW));
+    }
+
+    #[test]
+    fn full_utilisation_removes_idle_from_the_optimum() {
+        // At q = 0.5 the (1−2q)/q coefficient vanishes: m_opt must not
+        // depend on Pidle.
+        let mut a = cards::cabletron();
+        let m1 = optimal_hop_count(&a, 250.0, 0.5);
+        a.p_idle_mw *= 10.0;
+        let m2 = optimal_hop_count(&a, 250.0, 0.5);
+        assert!((m1 - m2).abs() < 1e-12);
+        // ... but it does at lower utilisation.
+        let b = cards::cabletron();
+        let l1 = optimal_hop_count(&b, 250.0, 0.25);
+        let l2 = optimal_hop_count(&a, 250.0, 0.25);
+        assert!(l2 < l1, "heavier idling penalises relays harder");
+    }
+
+    #[test]
+    fn mopt_grows_with_utilisation() {
+        // Fig 7's visible shape: every curve rises with R/B.
+        for card in cards::all() {
+            let series = fig7_series(&card, 0.1, 0.5, 9);
+            for w in series.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1 - 1e-12,
+                    "{}: m_opt must be non-decreasing in q",
+                    card.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_optimum_minimises_route_energy() {
+        // E_r is convex in m; Eq 15's stationary point must beat nearby
+        // hop counts whenever it is an interior optimum (m_opt ≥ 1).
+        let h = cards::hypothetical_cabletron();
+        let (d, q, t) = (250.0, 0.25, 100.0);
+        let m = optimal_hop_count(&h, d, q);
+        assert!(m >= 1.0);
+        let e_opt = route_energy_j(&h, m, d, q, t);
+        for factor in [0.7, 0.9, 1.1, 1.3] {
+            let e = route_energy_j(&h, (m * factor).max(1.0), d, q, t);
+            assert!(e_opt <= e + 1e-9, "E_r({}) < E_r(m_opt)", m * factor);
+        }
+    }
+
+    #[test]
+    fn characteristic_rounding_rule() {
+        // m_opt < 1 rounds up to 1; m_opt ≥ 1 rounds down.
+        let c = cards::cabletron();
+        let m = optimal_hop_count(&c, 250.0, 0.5);
+        assert!(m < 1.0, "Cabletron continuous optimum is {m}");
+        assert_eq!(characteristic_hop_count(&c, 250.0, 0.5), 1);
+        let h = cards::hypothetical_cabletron();
+        let mh = optimal_hop_count(&h, 250.0, 0.3);
+        assert!(mh >= 2.0);
+        assert_eq!(characteristic_hop_count(&h, 250.0, 0.3), mh.floor() as u32);
+    }
+
+    #[test]
+    fn direct_transmission_beats_relays_for_cabletron() {
+        // End-to-end energy comparison at the heart of Section 5.1: one
+        // hop vs two hops across 250 m with the real card.
+        let c = cards::cabletron();
+        for q in [0.1, 0.25, 0.5] {
+            let direct = route_energy_j(&c, 1.0, 250.0, q, 60.0);
+            let relayed = route_energy_j(&c, 2.0, 250.0, q, 60.0);
+            assert!(direct < relayed, "q={q}: direct {direct} vs relayed {relayed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "R/B must lie in (0, 0.5]")]
+    fn utilisation_above_half_rejected() {
+        optimal_hop_count(&cards::cabletron(), 250.0, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop count must be positive")]
+    fn zero_hop_route_rejected() {
+        route_energy_j(&cards::cabletron(), 0.0, 250.0, 0.25, 1.0);
+    }
+
+    proptest! {
+        /// Eq 15 is the stationary point of Eq 14: numerically, the
+        /// derivative of E_r at m_opt vanishes (relative to its scale).
+        #[test]
+        fn eq15_is_stationary_point_of_eq14(
+            alpha_exp in -7.0f64..-4.0,
+            q in 0.05f64..0.5,
+            d in 50.0f64..400.0,
+        ) {
+            let mut card = cards::cabletron();
+            card.alpha2 = 10f64.powf(alpha_exp);
+            let m = optimal_hop_count(&card, d, q);
+            // Only meaningful as an interior optimum.
+            prop_assume!(m > 0.2);
+            let h = 1e-5 * m;
+            let e_plus = route_energy_j(&card, (m + h).max(1e-3), d, q, 1.0);
+            let e_minus = route_energy_j(&card, (m - h).max(1e-3), d, q, 1.0);
+            let e_mid = route_energy_j(&card, m.max(1e-3), d, q, 1.0);
+            // Central difference ≈ 0 and both neighbours are not below.
+            prop_assert!(e_mid <= e_plus + 1e-9 * e_mid.abs().max(1.0));
+            prop_assert!(e_mid <= e_minus + 1e-9 * e_mid.abs().max(1.0));
+        }
+
+        /// Route energy is positive and grows with duration.
+        #[test]
+        fn route_energy_scales_with_time(
+            m in 1.0f64..6.0,
+            q in 0.05f64..0.5,
+            t in 1.0f64..100.0,
+        ) {
+            let c = cards::cabletron();
+            let e1 = route_energy_j(&c, m, 250.0, q, t);
+            let e2 = route_energy_j(&c, m, 250.0, q, 2.0 * t);
+            prop_assert!(e1 > 0.0);
+            prop_assert!((e2 - 2.0 * e1).abs() < 1e-9 * e2.max(1.0));
+        }
+    }
+}

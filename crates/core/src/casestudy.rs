@@ -1,0 +1,239 @@
+//! The Section 3 counterexamples: why Steiner-tree weight alone mis-ranks
+//! designs (Figs 1–6, Eqs 6–9).
+//!
+//! The paper builds two minimum-weight Steiner trees (ST1, ST2) over the
+//! same single-sink instance and two Steiner forests (SF1, SF2) over the
+//! same multi-commodity instance, shows they tie under MPC's objective,
+//! and then computes their true `Enetwork`: ST1's communication cost
+//! deviates from ST2's by a factor growing with the number of sources k
+//! ((k+3)/4), while SF1 wakes k relays where SF2 wakes one.
+//!
+//! The abstract cost model is the paper's: every link has transmit power
+//! `Ptx = α·z`, receive and idle power are `z`, each source emits one
+//! packet, a packet occupies a link for `t_data`, and each idle relay
+//! idles for `t_idle`.
+
+/// Parameters of the abstract Section 3 cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseParams {
+    /// Number of sources / demand pairs `k` (≥ 1).
+    pub k: usize,
+    /// Idle duration per awake relay.
+    pub t_idle: f64,
+    /// Link occupancy per packet.
+    pub t_data: f64,
+    /// Transmit power multiplier: `Ptx(u,v) = α·z`.
+    pub alpha: f64,
+    /// Base power unit: `Prx = Pidle = z`.
+    pub z: f64,
+}
+
+impl CaseParams {
+    /// Convenient constructor with unit times and powers.
+    pub fn unit(k: usize) -> CaseParams {
+        CaseParams { k, t_idle: 1.0, t_data: 1.0, alpha: 2.0, z: 1.0 }
+    }
+}
+
+/// A Section 3 scenario: per-packet routes plus the relays kept awake.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseTopology {
+    /// One route (node path) per generated packet.
+    pub routes: Vec<Vec<usize>>,
+    /// Relay nodes (idle cost `z` each; endpoints cost nothing, the
+    /// paper's `c(sᵢ) = c(dᵢ) = 0`).
+    pub relays: Vec<usize>,
+}
+
+impl CaseTopology {
+    /// Total number of link transmissions (one per packet per hop).
+    pub fn transmissions(&self) -> usize {
+        self.routes.iter().map(|r| r.len().saturating_sub(1)).sum()
+    }
+}
+
+/// `Enetwork` of a scenario under the abstract model: idle plus, for each
+/// transmission, transmit + receive energy `t_data·(α+1)·z` (the bracketed
+/// term of Eqs 6–9).
+pub fn case_energy(topology: &CaseTopology, p: &CaseParams) -> f64 {
+    let idle = topology.relays.len() as f64 * p.t_idle * p.z;
+    let comm = topology.transmissions() as f64 * p.t_data * (p.alpha + 1.0) * p.z;
+    idle + comm
+}
+
+// Node numbering shared by the ST scenarios: sources 1..=k, sink 0,
+// relay i = k+1, relay j = k+2.
+
+/// ST1 (Fig 2): sources chained serially, draining through relay `i`.
+/// Source `l`'s packet travels `l-1` chain hops, then relay, then sink.
+pub fn st1(k: usize) -> CaseTopology {
+    assert!(k >= 1, "need at least one source");
+    let relay_i = k + 1;
+    let routes = (1..=k)
+        .map(|l| {
+            // l -> l-1 -> ... -> 1 -> i -> sink(0)
+            let mut r: Vec<usize> = (1..=l).rev().collect();
+            r.push(relay_i);
+            r.push(0);
+            r
+        })
+        .collect();
+    CaseTopology { routes, relays: vec![relay_i] }
+}
+
+/// ST2 (Fig 3): every source one hop to relay `j`, which forwards to the
+/// sink — all flows on shortest paths.
+pub fn st2(k: usize) -> CaseTopology {
+    assert!(k >= 1, "need at least one source");
+    let relay_j = k + 2;
+    let routes = (1..=k).map(|l| vec![l, relay_j, 0]).collect();
+    CaseTopology { routes, relays: vec![relay_j] }
+}
+
+// Node numbering for the SF scenarios: pairs (Sᵢ = i, Dᵢ = k+i) for
+// i in 1..=k, center S0 = 0, private relays k+k+i.
+
+/// SF1 (Fig 5): each pair `(Sᵢ, Dᵢ)` crosses its own private relay —
+/// k relays stay awake.
+pub fn sf1(k: usize) -> CaseTopology {
+    assert!(k >= 1, "need at least one pair");
+    let routes = (1..=k).map(|i| vec![i, 2 * k + i, k + i]).collect();
+    CaseTopology { routes, relays: (1..=k).map(|i| 2 * k + i).collect() }
+}
+
+/// SF2 (Fig 6): every pair routes through the single center node `S0`.
+pub fn sf2(k: usize) -> CaseTopology {
+    assert!(k >= 1, "need at least one pair");
+    let routes = (1..=k).map(|i| vec![i, 0, k + i]).collect();
+    CaseTopology { routes, relays: vec![0] }
+}
+
+/// Closed form Eq 6: `EST1 = t_idle·z + k(k+3)/2 · t_data·(α+1)·z`.
+pub fn est1_closed_form(p: &CaseParams) -> f64 {
+    let k = p.k as f64;
+    p.t_idle * p.z + k * (k + 3.0) / 2.0 * p.t_data * (p.alpha + 1.0) * p.z
+}
+
+/// Closed form Eq 7: `EST2 = t_idle·z + 2k · t_data·(α+1)·z`.
+pub fn est2_closed_form(p: &CaseParams) -> f64 {
+    let k = p.k as f64;
+    p.t_idle * p.z + 2.0 * k * p.t_data * (p.alpha + 1.0) * p.z
+}
+
+/// Closed form Eq 8: `ESF1 = k·t_idle·z + 2k · t_data·(α+1)·z`.
+pub fn esf1_closed_form(p: &CaseParams) -> f64 {
+    let k = p.k as f64;
+    k * p.t_idle * p.z + 2.0 * k * p.t_data * (p.alpha + 1.0) * p.z
+}
+
+/// Closed form Eq 9: `ESF2 = t_idle·z + 2k · t_data·(α+1)·z`.
+pub fn esf2_closed_form(p: &CaseParams) -> f64 {
+    let k = p.k as f64;
+    p.t_idle * p.z + 2.0 * k * p.t_data * (p.alpha + 1.0) * p.z
+}
+
+/// The paper's ST communication-cost deviation: ST1's transmissions over
+/// ST2's is `(k+3)/4`.
+pub fn st_comm_deviation(k: usize) -> f64 {
+    (k as f64 + 3.0) / 4.0
+}
+
+/// The paper's SF idle-cost ratio once source/destination idling is also
+/// counted: `3k / (2k+1)` (SF1's `k` relays + `2k` endpoints over SF2's
+/// one relay + `2k` endpoints).
+pub fn sf_idle_ratio_with_endpoints(k: usize) -> f64 {
+    3.0 * k as f64 / (2.0 * k as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn st1_transmission_count_matches_paper() {
+        // "node k transmits 1 packet, node k−1 transmits 2, node l
+        // transmits k−l+1; relay i transmits k: total k(k+3)/2".
+        for k in 1..=10 {
+            let t = st1(k);
+            assert_eq!(t.transmissions(), k * (k + 3) / 2, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn st2_transmission_count_matches_paper() {
+        for k in 1..=10 {
+            assert_eq!(st2(k).transmissions(), 2 * k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn constructed_topologies_match_closed_forms() {
+        for k in 1..=12 {
+            let p = CaseParams { k, t_idle: 3.0, t_data: 0.5, alpha: 2.5, z: 1.3 };
+            assert!((case_energy(&st1(k), &p) - est1_closed_form(&p)).abs() < 1e-9);
+            assert!((case_energy(&st2(k), &p) - est2_closed_form(&p)).abs() < 1e-9);
+            assert!((case_energy(&sf1(k), &p) - esf1_closed_form(&p)).abs() < 1e-9);
+            assert!((case_energy(&sf2(k), &p) - esf2_closed_form(&p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn st_trees_tie_on_idle_but_not_on_communication() {
+        // Same idle cost (one relay each); ST1's comm deviates by (k+3)/4.
+        let k = 8;
+        assert_eq!(st1(k).relays.len(), st2(k).relays.len());
+        let ratio = st1(k).transmissions() as f64 / st2(k).transmissions() as f64;
+        assert!((ratio - st_comm_deviation(k)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sf_forests_tie_on_communication_but_not_on_idle() {
+        let k = 8;
+        assert_eq!(sf1(k).transmissions(), sf2(k).transmissions());
+        assert_eq!(sf1(k).relays.len(), k);
+        assert_eq!(sf2(k).relays.len(), 1);
+    }
+
+    #[test]
+    fn sf_ratio_with_endpoint_idling_tends_to_three_halves() {
+        assert!((sf_idle_ratio_with_endpoints(1) - 1.0).abs() < 1e-12);
+        let big = sf_idle_ratio_with_endpoints(10_000);
+        assert!((big - 1.5).abs() < 1e-3, "→ 3/2 as k → ∞, got {big}");
+        // Monotone increasing in k.
+        for k in 1..50 {
+            assert!(sf_idle_ratio_with_endpoints(k + 1) > sf_idle_ratio_with_endpoints(k));
+        }
+    }
+
+    #[test]
+    fn st1_worse_than_st2_for_k_ge_2() {
+        // k = 1: both cost the same; k ≥ 2: ST1 strictly worse.
+        let p1 = CaseParams::unit(1);
+        assert!((est1_closed_form(&p1) - est2_closed_form(&p1)).abs() < 1e-12);
+        for k in 2..=20 {
+            let p = CaseParams::unit(k);
+            assert!(est1_closed_form(&p) > est2_closed_form(&p), "k = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn zero_sources_rejected() {
+        st1(0);
+    }
+
+    proptest! {
+        /// The deviation between ST1 and ST2 energies grows linearly with
+        /// k (communication term), while SF1−SF2 grows with k·t_idle.
+        #[test]
+        fn deviations_grow_with_k(k in 2usize..40) {
+            let p = CaseParams::unit(k);
+            let st_gap = est1_closed_form(&p) - est2_closed_form(&p);
+            let expected = (k * (k + 3) / 2 - 2 * k) as f64 * (p.alpha + 1.0);
+            prop_assert!((st_gap - expected).abs() < 1e-9);
+            let sf_gap = esf1_closed_form(&p) - esf2_closed_form(&p);
+            prop_assert!((sf_gap - (k as f64 - 1.0)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The `Enetwork` evaluator: turns a [`Design`] into per-node energy.
+//!
+//! This is the fluid-model counterpart of the packet simulator in
+//! `eend-wireless`: traffic is treated as a constant airtime fraction
+//! `rᵢ/B` per hop (no queueing, no losses, no control overhead), exactly
+//! the simplification the paper uses in Section 3 (Eq 5) and in the
+//! fixed-route projections behind Figs 13–16. A node's energy is
+//!
+//! - transmit: Σ over outgoing hops of `T · rᵢ/B · Ptx(d)`,
+//! - receive: Σ over incoming hops of `T · rᵢ/B · Prx`,
+//! - passive: the remaining time at `Pidle` (awake) / `Psleep` (asleep),
+//!   or at `Psleep` for everyone under *perfect sleep scheduling*.
+
+use crate::design::Design;
+use crate::problem::DesignProblem;
+use eend_radio::EnergyReport;
+use eend_sim::SimDuration;
+
+/// How awake-but-silent time is charged (the two scheduling models of
+/// Section 5.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepScheduling {
+    /// ODPM-style: nodes on routes are awake the whole time, idling
+    /// between packets at `Pidle`.
+    OdpmIdle,
+    /// Perfect sleep scheduling: nodes wake exactly when needed; silent
+    /// time is charged at `Psleep` for every node.
+    Perfect,
+}
+
+/// Parameters of an evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalParams {
+    /// Evaluated time horizon, seconds.
+    pub duration_s: f64,
+    /// Channel bandwidth `B`, bits per second.
+    pub bandwidth_bps: f64,
+    /// Tune data transmit power to hop distance (TPC) or always use max.
+    pub power_control: bool,
+    /// How silent time is charged.
+    pub scheduling: SleepScheduling,
+}
+
+impl EvalParams {
+    /// 2 Mb/s 802.11 with power control and ODPM-style idling — the
+    /// configuration of the paper's main study.
+    pub fn standard(duration_s: f64) -> EvalParams {
+        EvalParams {
+            duration_s,
+            bandwidth_bps: 2_000_000.0,
+            power_control: true,
+            scheduling: SleepScheduling::OdpmIdle,
+        }
+    }
+}
+
+/// Network-wide evaluation result.
+#[derive(Debug, Clone)]
+pub struct NetworkEnergy {
+    /// Per-node energy breakdowns.
+    pub per_node: Vec<EnergyReport>,
+    /// Element-wise network total (Eq 4).
+    pub total: EnergyReport,
+    /// Application bits delivered over the horizon (all demands, fluid
+    /// model: everything routed is delivered).
+    pub delivered_bits: f64,
+}
+
+impl NetworkEnergy {
+    /// `Enetwork` in joules.
+    pub fn enetwork_j(&self) -> f64 {
+        self.total.total_mj() / 1000.0
+    }
+
+    /// Energy goodput in bits per joule — the paper's headline metric.
+    /// Zero if no energy was consumed.
+    pub fn energy_goodput_bit_per_j(&self) -> f64 {
+        let j = self.enetwork_j();
+        if j <= 0.0 {
+            0.0
+        } else {
+            self.delivered_bits / j
+        }
+    }
+}
+
+/// Evaluates `design` on `problem` under the fluid traffic model.
+///
+/// # Panics
+///
+/// Panics if the evaluation duration or bandwidth is not positive.
+pub fn evaluate(problem: &DesignProblem, design: &Design, params: &EvalParams) -> NetworkEnergy {
+    assert!(params.duration_s > 0.0, "duration must be positive");
+    assert!(params.bandwidth_bps > 0.0, "bandwidth must be positive");
+    let inst = &problem.instance;
+    let card = inst.card();
+    let n = inst.node_count();
+    let t = params.duration_s;
+
+    // Per-node airtime fractions and transmit energy.
+    let mut tx_frac = vec![0.0f64; n];
+    let mut rx_frac = vec![0.0f64; n];
+    let mut tx_energy_mj = vec![0.0f64; n];
+    let mut delivered_bits = 0.0;
+    for (demand, route) in problem.demands.iter().zip(&design.routes) {
+        let Some(route) = route else { continue };
+        let util = demand.rate_bps / params.bandwidth_bps;
+        delivered_bits += demand.rate_bps * t;
+        for hop in route.windows(2) {
+            let (u, v) = (hop[0], hop[1]);
+            let d = inst.distance(u, v);
+            let ptx = card.data_tx_power_mw(d, params.power_control);
+            tx_frac[u] += util;
+            rx_frac[v] += util;
+            tx_energy_mj[u] += t * util * ptx;
+        }
+    }
+
+    let mut per_node = Vec::with_capacity(n);
+    let mut total = EnergyReport::default();
+    for v in 0..n {
+        let busy = tx_frac[v] + rx_frac[v];
+        // Beyond-capacity designs (busy > 1) keep their full communication
+        // energy — matching the paper's Fig 15/16 projections — but cannot
+        // have negative passive time.
+        let silent_frac = (1.0 - busy).max(0.0);
+        let awake = design.active[v];
+        let mut r = EnergyReport {
+            tx_data_mj: tx_energy_mj[v],
+            rx_data_mj: t * rx_frac[v] * card.p_rx_mw,
+            time_tx: SimDuration::from_secs_f64(t * tx_frac[v].min(1.0)),
+            time_rx: SimDuration::from_secs_f64(t * rx_frac[v].min(1.0)),
+            ..EnergyReport::default()
+        };
+        let silent_s = t * silent_frac;
+        match (awake, params.scheduling) {
+            (true, SleepScheduling::OdpmIdle) => {
+                r.idle_mj = silent_s * card.p_idle_mw;
+                r.time_idle = SimDuration::from_secs_f64(silent_s);
+            }
+            (true, SleepScheduling::Perfect) | (false, _) => {
+                let span = if awake { silent_s } else { t };
+                r.sleep_mj = span * card.p_sleep_mw;
+                r.time_sleep = SimDuration::from_secs_f64(span);
+            }
+        }
+        total.accumulate(&r);
+        per_node.push(r);
+    }
+    NetworkEnergy { per_node, total, delivered_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{Designer, Heuristic};
+    use crate::problem::{Demand, DesignProblem, WirelessInstance};
+    use eend_radio::cards;
+
+    fn two_node_problem(rate: f64) -> (DesignProblem, Design) {
+        let inst = WirelessInstance::new(vec![(0.0, 0.0), (200.0, 0.0)], cards::cabletron());
+        let p = DesignProblem::new(inst, vec![Demand::new(0, 1, rate)]);
+        let d = Heuristic::IdleFirst.design(&p);
+        (p, d)
+    }
+
+    #[test]
+    fn single_hop_energy_closed_form() {
+        let (p, d) = two_node_problem(200_000.0); // r/B = 0.1
+        let params = EvalParams {
+            duration_s: 100.0,
+            bandwidth_bps: 2_000_000.0,
+            power_control: true,
+            scheduling: SleepScheduling::OdpmIdle,
+        };
+        let e = evaluate(&p, &d, &params);
+        let card = cards::cabletron();
+        let ptx = card.data_tx_power_mw(200.0, true);
+        // Sender: 10 s transmitting, 90 s idle. Receiver: 10 s rx, 90 idle.
+        let expect_tx = 10.0 * ptx;
+        let expect_rx = 10.0 * card.p_rx_mw;
+        let expect_idle = 2.0 * 90.0 * card.p_idle_mw;
+        assert!((e.total.tx_data_mj - expect_tx).abs() < 1e-6);
+        assert!((e.total.rx_data_mj - expect_rx).abs() < 1e-6);
+        assert!((e.total.idle_mj - expect_idle).abs() < 1e-6);
+        assert!((e.delivered_bits - 200_000.0 * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_scheduling_charges_sleep() {
+        let (p, d) = two_node_problem(200_000.0);
+        let mut params = EvalParams::standard(100.0);
+        params.scheduling = SleepScheduling::Perfect;
+        let e = evaluate(&p, &d, &params);
+        assert_eq!(e.total.idle_mj, 0.0);
+        assert!(e.total.sleep_mj > 0.0);
+        let mut idle_params = EvalParams::standard(100.0);
+        idle_params.scheduling = SleepScheduling::OdpmIdle;
+        let e_idle = evaluate(&p, &d, &idle_params);
+        assert!(
+            e.enetwork_j() < e_idle.enetwork_j(),
+            "perfect scheduling must dominate"
+        );
+    }
+
+    #[test]
+    fn goodput_improves_with_perfect_scheduling() {
+        let (p, d) = two_node_problem(10_000.0);
+        let idle = evaluate(&p, &d, &EvalParams::standard(900.0));
+        let mut pp = EvalParams::standard(900.0);
+        pp.scheduling = SleepScheduling::Perfect;
+        let perfect = evaluate(&p, &d, &pp);
+        assert!(perfect.energy_goodput_bit_per_j() > idle.energy_goodput_bit_per_j());
+    }
+
+    #[test]
+    fn power_control_reduces_tx_energy_only() {
+        let (p, d) = two_node_problem(100_000.0);
+        let mut with_pc = EvalParams::standard(100.0);
+        with_pc.power_control = true;
+        let mut no_pc = EvalParams::standard(100.0);
+        no_pc.power_control = false;
+        let a = evaluate(&p, &d, &with_pc);
+        let b = evaluate(&p, &d, &no_pc);
+        assert!(a.total.tx_data_mj < b.total.tx_data_mj);
+        assert!((a.total.rx_data_mj - b.total.rx_data_mj).abs() < 1e-9);
+        assert!((a.total.idle_mj - b.total.idle_mj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleeping_nodes_charge_sleep_power() {
+        // Third node is off every route: it must sleep for the horizon.
+        let inst = WirelessInstance::new(
+            vec![(0.0, 0.0), (200.0, 0.0), (0.0, 200.0)],
+            cards::cabletron(),
+        );
+        let p = DesignProblem::new(inst, vec![Demand::new(0, 1, 10_000.0)]);
+        let d = Heuristic::IdleFirst.design(&p);
+        let e = evaluate(&p, &d, &EvalParams::standard(100.0));
+        let card = cards::cabletron();
+        assert!((e.per_node[2].sleep_mj - 100.0 * card.p_sleep_mw).abs() < 1e-9);
+        assert_eq!(e.per_node[2].idle_mj, 0.0);
+    }
+
+    #[test]
+    fn unrouted_demand_contributes_nothing() {
+        let inst = WirelessInstance::new(vec![(0.0, 0.0), (900.0, 0.0)], cards::cabletron());
+        let p = DesignProblem::new(inst, vec![Demand::new(0, 1, 10_000.0)]);
+        let d = Heuristic::IdleFirst.design(&p);
+        assert!(!d.is_feasible());
+        let e = evaluate(&p, &d, &EvalParams::standard(100.0));
+        assert_eq!(e.delivered_bits, 0.0);
+        assert_eq!(e.total.comm_mj(), 0.0);
+        assert_eq!(e.energy_goodput_bit_per_j(), 0.0);
+    }
+
+    #[test]
+    fn idle_dominates_at_low_rate() {
+        // The crux of the paper: at light load ΣEpassive ≫ ΣEcomm.
+        let (p, d) = two_node_problem(2_000.0);
+        let e = evaluate(&p, &d, &EvalParams::standard(900.0));
+        assert!(e.total.passive_mj() > 10.0 * e.total.comm_mj());
+    }
+
+    #[test]
+    fn overload_clamps_silent_time() {
+        // rate where a relay's tx+rx fractions exceed 1.
+        let inst = WirelessInstance::new(
+            vec![(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)],
+            cards::cabletron(),
+        );
+        let p = DesignProblem::new(inst, vec![Demand::new(0, 2, 1_500_000.0)]);
+        let d = Heuristic::IdleFirst.design(&p);
+        let e = evaluate(&p, &d, &EvalParams::standard(10.0));
+        // Relay node 1: tx 0.75 + rx 0.75 = 1.5 busy -> silent clamped to 0.
+        assert_eq!(e.per_node[1].idle_mj, 0.0);
+        assert!(e.per_node[1].comm_mj() > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! The energy-efficient network design problem (Sengul & Kravets, ICDCS'07).
+//!
+//! Given a wireless network (node positions + a radio card) and a set of
+//! traffic demands, find a subgraph — awake relays, links and transmit
+//! power levels — that carries every demand while minimising total network
+//! energy, communication *and* idling (Definition 1 / Eq 5 of the paper).
+//! The problem is a node-weighted buy-at-bulk instance and NP-hard; this
+//! crate implements the paper's machinery around it:
+//!
+//! - [`problem`]: [`WirelessInstance`], [`Demand`] and [`DesignProblem`] —
+//!   the formal problem statement;
+//! - [`design`]: the three heuristic *designers* (communication-energy
+//!   first, joint optimisation, idling-energy first — Section 4) as
+//!   centralized graph algorithms, plus an MPC-style Steiner baseline;
+//! - [`evaluate`]: the `Enetwork` evaluator turning a [`design::Design`]
+//!   into per-node [`eend_radio::EnergyReport`]s under a traffic model;
+//! - [`casestudy`]: the Section 3 Steiner tree/forest counterexamples
+//!   (ST1/ST2, SF1/SF2) with their closed-form energies (Eqs 6–9);
+//! - [`analysis`]: the Section 5.1 analytical study — route energy Eq 14,
+//!   characteristic hop count Eq 15, and the Fig 7 sweep.
+//!
+//! # Example: is relaying ever worth it for a real card?
+//!
+//! ```
+//! use eend_core::analysis;
+//! use eend_radio::cards;
+//!
+//! // Cabletron at 250 m, half the bandwidth used by the flow:
+//! let m = analysis::optimal_hop_count(&cards::cabletron(), 250.0, 0.5);
+//! assert!(m < 2.0, "the paper's claim: direct transmission wins");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod casestudy;
+pub mod design;
+pub mod evaluate;
+pub mod problem;
+
+pub use design::{Design, Designer, Heuristic};
+pub use evaluate::{EvalParams, NetworkEnergy};
+pub use problem::{Demand, DesignProblem, WirelessInstance};

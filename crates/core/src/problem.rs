@@ -1,0 +1,197 @@
+//! The formal problem statement: wireless instance, demands, design problem.
+
+use eend_graph::Graph;
+use eend_radio::RadioCard;
+
+/// A traffic demand: `rate_bps` bits per second from `source` to `sink`
+/// (the paper's `(sᵢ, dᵢ)` pairs with demand `rᵢ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demand {
+    /// Originating node.
+    pub source: usize,
+    /// Destination node.
+    pub sink: usize,
+    /// Offered rate in bits per second.
+    pub rate_bps: f64,
+}
+
+impl Demand {
+    /// Creates a demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or non-finite.
+    pub fn new(source: usize, sink: usize, rate_bps: f64) -> Demand {
+        assert!(rate_bps.is_finite() && rate_bps >= 0.0, "bad demand rate {rate_bps}");
+        Demand { source, sink, rate_bps }
+    }
+}
+
+/// A wireless network instance: node positions on the plane plus the radio
+/// card every node carries.
+///
+/// The connectivity graph follows the paper's model: an (undirected) link
+/// exists wherever the distance is within the card's nominal range; the
+/// transmit power needed for a link is `Ptx(d) = Pbase + α₂·dⁿ`.
+#[derive(Debug, Clone)]
+pub struct WirelessInstance {
+    positions: Vec<(f64, f64)>,
+    card: RadioCard,
+}
+
+impl WirelessInstance {
+    /// Creates an instance from node positions (metres) and a card.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-finite.
+    pub fn new(positions: Vec<(f64, f64)>, card: RadioCard) -> WirelessInstance {
+        for &(x, y) in &positions {
+            assert!(x.is_finite() && y.is_finite(), "non-finite position ({x}, {y})");
+        }
+        WirelessInstance { positions, card }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The radio card shared by all nodes.
+    pub fn card(&self) -> &RadioCard {
+        &self.card
+    }
+
+    /// Position of node `u`, metres.
+    pub fn position(&self, u: usize) -> (f64, f64) {
+        self.positions[u]
+    }
+
+    /// All positions, indexed by node.
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+
+    /// Euclidean distance between nodes `u` and `v`, metres.
+    pub fn distance(&self, u: usize, v: usize) -> f64 {
+        let (ax, ay) = self.positions[u];
+        let (bx, by) = self.positions[v];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// The connectivity graph: one edge per node pair within transmission
+    /// range, weighted by distance (designers re-weight per their metric).
+    pub fn connectivity_graph(&self) -> Graph {
+        let n = self.node_count();
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = self.distance(u, v);
+                if self.card.in_range(d) {
+                    g.add_edge(u, v, d);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// A complete design-problem instance: the network plus its demands.
+#[derive(Debug, Clone)]
+pub struct DesignProblem {
+    /// The wireless network.
+    pub instance: WirelessInstance,
+    /// The traffic matrix.
+    pub demands: Vec<Demand>,
+}
+
+impl DesignProblem {
+    /// Bundles an instance with demands, validating endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a demand references a node out of range or has
+    /// `source == sink`.
+    pub fn new(instance: WirelessInstance, demands: Vec<Demand>) -> DesignProblem {
+        let n = instance.node_count();
+        for d in &demands {
+            assert!(d.source < n && d.sink < n, "demand endpoint out of range");
+            assert_ne!(d.source, d.sink, "demand with identical endpoints");
+        }
+        DesignProblem { instance, demands }
+    }
+
+    /// All demand endpoints (sources and sinks), deduplicated, sorted.
+    pub fn terminals(&self) -> Vec<usize> {
+        let mut t: Vec<usize> = self.demands.iter().flat_map(|d| [d.source, d.sink]).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eend_radio::cards;
+
+    fn line_instance(spacing: f64, n: usize) -> WirelessInstance {
+        let positions = (0..n).map(|i| (i as f64 * spacing, 0.0)).collect();
+        WirelessInstance::new(positions, cards::cabletron())
+    }
+
+    #[test]
+    fn distances() {
+        let inst = WirelessInstance::new(vec![(0.0, 0.0), (3.0, 4.0)], cards::mica2());
+        assert!((inst.distance(0, 1) - 5.0).abs() < 1e-12);
+        assert_eq!(inst.distance(0, 0), 0.0);
+    }
+
+    #[test]
+    fn connectivity_respects_range() {
+        // Cabletron range 250 m; spacing 200 m connects immediate and not
+        // second neighbours (400 m).
+        let inst = line_instance(200.0, 3);
+        let g = inst.connectivity_graph();
+        assert!(g.edge_between(0, 1).is_some());
+        assert!(g.edge_between(1, 2).is_some());
+        assert!(g.edge_between(0, 2).is_none());
+    }
+
+    #[test]
+    fn dense_placement_is_complete_graph() {
+        let inst = line_instance(10.0, 5);
+        let g = inst.connectivity_graph();
+        assert_eq!(g.edge_count(), 5 * 4 / 2);
+    }
+
+    #[test]
+    fn terminals_dedup() {
+        let inst = line_instance(100.0, 4);
+        let p = DesignProblem::new(
+            inst,
+            vec![Demand::new(0, 3, 1000.0), Demand::new(0, 2, 1000.0)],
+        );
+        assert_eq!(p.terminals(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical endpoints")]
+    fn self_demand_rejected() {
+        let inst = line_instance(100.0, 2);
+        DesignProblem::new(inst, vec![Demand::new(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn demand_endpoint_bounds_checked() {
+        let inst = line_instance(100.0, 2);
+        DesignProblem::new(inst, vec![Demand::new(0, 5, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad demand rate")]
+    fn negative_rate_rejected() {
+        Demand::new(0, 1, -5.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Graph algorithms for energy-efficient network design.
+//!
+//! The paper models a wireless network as an undirected graph with node
+//! weights (idle/sleep power) and edge weights (transmit + receive power)
+//! and shows the design problem is a node-weighted buy-at-bulk instance.
+//! This crate provides the graph-theoretic machinery the `eend-core`
+//! designers are built on, implemented from scratch so the workspace stays
+//! dependency-light:
+//!
+//! - [`Graph`] — undirected weighted graph with node weights and stable edge
+//!   identifiers;
+//! - [`paths`] — BFS hop counts, Dijkstra, and a node-weighted Dijkstra
+//!   variant (the reduction the paper discusses in Section 3);
+//! - [`DisjointSets`] — union–find;
+//! - [`mst`] — Kruskal minimum spanning tree;
+//! - [`steiner`] — the classic metric-closure 2-approximation for Steiner
+//!   trees (what MPC executes) plus a Steiner-forest heuristic, and an
+//!   exact exponential-time solver for cross-checking on small graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use eend_graph::Graph;
+//!
+//! // A 4-cycle with one heavy edge.
+//! let mut g = Graph::new(4);
+//! g.add_edge(0, 1, 1.0);
+//! g.add_edge(1, 2, 1.0);
+//! g.add_edge(2, 3, 1.0);
+//! g.add_edge(3, 0, 10.0);
+//! let (cost, path) = eend_graph::paths::shortest_path(&g, 0, 3).unwrap();
+//! assert_eq!(cost, 3.0);
+//! assert_eq!(path, vec![0, 1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dsu;
+pub mod graph;
+pub mod mst;
+pub mod paths;
+pub mod steiner;
+
+pub use dsu::DisjointSets;
+pub use graph::{Edge, Graph};
+pub use steiner::SteinerSolution;

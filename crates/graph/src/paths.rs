@@ -1,0 +1,310 @@
+//! Shortest-path algorithms: BFS hop counts, Dijkstra, and the
+//! node-weighted Dijkstra variant used by the design heuristics.
+
+use crate::graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// `dist[v]` = cost from the source to `v` (`f64::INFINITY` if
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[v]` = predecessor of `v` on a shortest path (`usize::MAX`
+    /// for the source and unreachable nodes).
+    pub parent: Vec<usize>,
+}
+
+impl ShortestPaths {
+    /// Reconstructs the node sequence from the source to `dst`, or `None`
+    /// if `dst` is unreachable.
+    pub fn path_to(&self, dst: usize) -> Option<Vec<usize>> {
+        if self.dist[dst].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while self.parent[cur] != usize::MAX {
+            cur = self.parent[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+    seq: u64,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (dist, seq); dist is finite by construction, and seq
+        // makes the order total and deterministic.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Dijkstra with caller-supplied edge and node-entry costs.
+///
+/// The cost of relaxing `u → v` over edge `e` is
+/// `edge_cost(e, u, v) + node_cost(v)`; `node_cost` is how the paper's
+/// node-weighted formulation (idle power of waking a relay) folds into path
+/// search. Negative costs are rejected.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range or any queried cost is negative/NaN.
+pub fn dijkstra_with(
+    g: &Graph,
+    src: usize,
+    mut edge_cost: impl FnMut(usize, usize, usize) -> f64,
+    mut node_cost: impl FnMut(usize) -> f64,
+) -> ShortestPaths {
+    let n = g.node_count();
+    assert!(src < n, "source {src} out of range for {n} nodes");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    dist[src] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: src, seq });
+    while let Some(HeapItem { dist: d, node: u, .. }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for (v, eid) in g.neighbors(u) {
+            if done[v] {
+                continue;
+            }
+            let ec = edge_cost(eid, u, v);
+            let nc = node_cost(v);
+            assert!(ec >= 0.0 && nc >= 0.0, "negative cost on edge {eid} / node {v}");
+            let nd = d + ec + nc;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = u;
+                seq += 1;
+                heap.push(HeapItem { dist: nd, node: v, seq });
+            }
+        }
+    }
+    ShortestPaths { dist, parent }
+}
+
+/// Standard Dijkstra over the graph's stored edge weights.
+pub fn dijkstra(g: &Graph, src: usize) -> ShortestPaths {
+    dijkstra_with(g, src, |e, _, _| g.edge(e).w, |_| 0.0)
+}
+
+/// Cheapest path from `src` to `dst` under the stored edge weights, as
+/// `(cost, node_sequence)`.
+pub fn shortest_path(g: &Graph, src: usize, dst: usize) -> Option<(f64, Vec<usize>)> {
+    let sp = dijkstra(g, src);
+    sp.path_to(dst).map(|p| (sp.dist[dst], p))
+}
+
+/// Hop distances from `src` (ignoring weights); `usize::MAX` if unreachable.
+pub fn bfs_hops(g: &Graph, src: usize) -> Vec<usize> {
+    let n = g.node_count();
+    assert!(src < n, "source {src} out of range for {n} nodes");
+    let mut hops = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    hops[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in g.neighbors(u) {
+            if hops[v] == usize::MAX {
+                hops[v] = hops[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    hops
+}
+
+/// Bellman–Ford single-source distances; used as a test oracle for
+/// Dijkstra. Returns `None` on a negative cycle (cannot happen with the
+/// non-negative costs the rest of the crate enforces, but the oracle is
+/// general).
+pub fn bellman_ford(g: &Graph, src: usize) -> Option<Vec<f64>> {
+    let n = g.node_count();
+    assert!(src < n, "source {src} out of range for {n} nodes");
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    for round in 0..n {
+        let mut changed = false;
+        for e in g.edges() {
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                if dist[a].is_finite() && dist[a] + e.w < dist[b] {
+                    dist[b] = dist[a] + e.w;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Some(dist);
+        }
+        if round == n - 1 {
+            return None;
+        }
+    }
+    Some(dist)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // tests index parallel arrays
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -1.5- 2 -1- 3
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 1.5);
+        g.add_edge(2, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_picks_cheaper_branch() {
+        let (cost, path) = shortest_path(&diamond(), 0, 3).unwrap();
+        assert_eq!(cost, 2.0);
+        assert_eq!(path, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = Graph::new(3);
+        assert!(shortest_path(&g, 0, 2).is_none());
+        let sp = dijkstra(&g, 0);
+        assert!(sp.dist[2].is_infinite());
+        assert!(sp.path_to(2).is_none());
+    }
+
+    #[test]
+    fn path_to_source_is_trivial() {
+        let sp = dijkstra(&diamond(), 0);
+        assert_eq!(sp.path_to(0), Some(vec![0]));
+        assert_eq!(sp.dist[0], 0.0);
+    }
+
+    #[test]
+    fn node_costs_divert_routes() {
+        // Without node costs both branches of the diamond cost 2.5 / 2.0;
+        // a heavy node cost on 1 must push the route through 2.
+        let g = diamond();
+        let sp = dijkstra_with(
+            &g,
+            0,
+            |e, _, _| g.edge(e).w,
+            |v| if v == 1 { 10.0 } else { 0.0 },
+        );
+        assert_eq!(sp.path_to(3), Some(vec![0, 2, 3]));
+        assert_eq!(sp.dist[3], 2.5);
+    }
+
+    #[test]
+    fn bfs_hops_simple() {
+        let g = diamond();
+        let hops = bfs_hops(&g, 0);
+        assert_eq!(hops, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        assert_eq!(bfs_hops(&g, 0)[2], usize::MAX);
+    }
+
+    #[test]
+    fn bellman_ford_agrees_on_diamond() {
+        let g = diamond();
+        let bf = bellman_ford(&g, 0).unwrap();
+        let dj = dijkstra(&g, 0);
+        for v in 0..4 {
+            assert!((bf[v] - dj.dist[v]).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        /// Dijkstra equals the Bellman–Ford oracle on random graphs.
+        #[test]
+        fn dijkstra_matches_oracle(
+            n in 2usize..12,
+            edges in proptest::collection::vec((0usize..12, 0usize..12, 0.0f64..100.0), 0..40)
+        ) {
+            let mut g = Graph::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n, v % n);
+                if u != v && g.edge_between(u, v).is_none() {
+                    g.add_edge(u, v, w);
+                }
+            }
+            let dj = dijkstra(&g, 0);
+            let bf = bellman_ford(&g, 0).unwrap();
+            for v in 0..n {
+                if bf[v].is_infinite() {
+                    prop_assert!(dj.dist[v].is_infinite());
+                } else {
+                    prop_assert!((dj.dist[v] - bf[v]).abs() < 1e-9,
+                        "node {}: dijkstra {} vs oracle {}", v, dj.dist[v], bf[v]);
+                }
+            }
+        }
+
+        /// Reconstructed paths are simple, start/end correctly, and their
+        /// edge weights sum to the reported distance.
+        #[test]
+        fn paths_are_consistent(
+            n in 2usize..10,
+            edges in proptest::collection::vec((0usize..10, 0usize..10, 0.1f64..50.0), 1..30)
+        ) {
+            let mut g = Graph::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u % n, v % n);
+                if u != v && g.edge_between(u, v).is_none() {
+                    g.add_edge(u, v, w);
+                }
+            }
+            let sp = dijkstra(&g, 0);
+            for dst in 0..n {
+                if let Some(path) = sp.path_to(dst) {
+                    prop_assert_eq!(path[0], 0);
+                    prop_assert_eq!(*path.last().unwrap(), dst);
+                    let mut sum = 0.0;
+                    for w in path.windows(2) {
+                        let eid = g.edge_between(w[0], w[1]).expect("path uses real edges");
+                        sum += g.edge(eid).w;
+                    }
+                    prop_assert!((sum - sp.dist[dst]).abs() < 1e-9);
+                    let mut uniq = path.clone();
+                    uniq.sort_unstable();
+                    uniq.dedup();
+                    prop_assert_eq!(uniq.len(), path.len(), "path must be simple");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Single-sample-set summaries with small-sample confidence intervals.
+
+use std::fmt;
+
+/// Two-sided 95 % Student-t critical values for 1..=30 degrees of freedom.
+///
+/// The paper's figures use 5 runs (df = 4, t = 2.776) in small networks and
+/// 10 runs (df = 9, t = 2.262) in large ones.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The normal-approximation critical value used for df > 30.
+const Z95: f64 = 1.96;
+
+/// Descriptive statistics of a sample set.
+///
+/// Constructed with [`Summary::from_samples`]; all fields are plain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean (0 for an empty set).
+    pub mean: f64,
+    /// Unbiased sample variance (0 when `n < 2`).
+    pub var: f64,
+    /// Smallest sample (0 for an empty set).
+    pub min: f64,
+    /// Largest sample (0 for an empty set).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises `samples`. Works for empty input (all-zero summary).
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        let n = samples.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, var: 0.0, min: 0.0, max: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, var, min, max }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Standard error of the mean (0 when `n < 2`).
+    pub fn sem(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.std() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the two-sided 95 % confidence interval for the mean
+    /// (Student-t for n ≤ 31, normal approximation beyond). Zero when
+    /// `n < 2`.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let df = self.n - 1;
+        let t = if df <= 30 { T95[df - 1] } else { Z95 };
+        t * self.sem()
+    }
+
+    /// The 95 % confidence interval `(lo, hi)` for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let h = self.ci95_half_width();
+        (self.mean - h, self.mean + h)
+    }
+}
+
+impl fmt::Display for Summary {
+    /// Formats as `mean ± half-width` the way the paper's Table 2 does
+    /// (e.g. `0.933 ± 0.056`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prec = f.precision().unwrap_or(3);
+        write!(f, "{:.prec$} ± {:.prec$}", self.mean, self.ci95_half_width(), prec = prec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.var, 0.0);
+        assert_eq!(s.ci95(), (3.5, 3.5));
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn known_values() {
+        // Hand-computed: mean 2, var ((1)^2+(0)^2+(1)^2)/2 = 1.
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.var - 1.0).abs() < 1e-12);
+        assert!((s.std() - 1.0).abs() < 1e-12);
+        // df = 2, t = 4.303, sem = 1/sqrt(3).
+        let expected = 4.303 / 3f64.sqrt();
+        assert!((s.ci95_half_width() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn five_run_t_value_matches_paper_setup() {
+        // Five runs (the paper's small-network setting) must use t = 2.776.
+        let s = Summary::from_samples(&[0.0, 0.0, 0.0, 0.0, 5.0]);
+        assert_eq!(s.n, 5);
+        let t_used = s.ci95_half_width() / s.sem();
+        assert!((t_used - 2.776).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_n_uses_normal_approx() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Summary::from_samples(&samples);
+        let t_used = s.ci95_half_width() / s.sem();
+        assert!((t_used - Z95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_matches_table2_style() {
+        let s = Summary::from_samples(&[0.9, 0.95, 1.0]);
+        let txt = format!("{s}");
+        assert!(txt.contains("±"), "got {txt}");
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+            let s = Summary::from_samples(&xs);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+        }
+
+        #[test]
+        fn ci_contains_mean_and_is_symmetric(xs in proptest::collection::vec(-1e3f64..1e3, 2..40)) {
+            let s = Summary::from_samples(&xs);
+            let (lo, hi) = s.ci95();
+            prop_assert!(lo <= s.mean && s.mean <= hi);
+            prop_assert!(((s.mean - lo) - (hi - s.mean)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..50)) {
+            let s = Summary::from_samples(&xs);
+            prop_assert!(s.var >= 0.0);
+        }
+
+        #[test]
+        fn constant_samples_have_zero_ci(x in -1e6f64..1e6, n in 2usize..20) {
+            let xs = vec![x; n];
+            let s = Summary::from_samples(&xs);
+            prop_assert!(s.ci95_half_width() < 1e-9);
+            prop_assert!((s.mean - x).abs() < 1e-9);
+        }
+    }
+}

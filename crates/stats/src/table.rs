@@ -1,0 +1,128 @@
+//! Minimal column-aligned plain-text tables.
+//!
+//! Used by the `eend-bench` binaries to print paper-style tables (Table 1,
+//! Table 2) without pulling a formatting dependency.
+
+use std::fmt;
+
+/// A simple text table: a header row plus data rows, auto-width columns.
+///
+/// # Example
+///
+/// ```
+/// use eend_stats::Table;
+///
+/// let mut t = Table::new(vec!["# of nodes", "DSR-ODPM-PC", "TITAN-PC"]);
+/// t.row(vec!["300".into(), "0.933 ± 0.056".into(), "0.993 ± 0.004".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("TITAN-PC"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<impl Into<String>>) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row. Rows shorter than the header are padded with
+    /// empty cells; longer rows keep their extra cells (rendered ragged).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let render_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_padding() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        t.row(vec!["z".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("xxx"));
+        assert!(lines[3].starts_with("z"));
+    }
+
+    #[test]
+    fn empty_table_renders_header() {
+        let t = Table::new(vec!["only", "header"]);
+        assert!(t.is_empty());
+        let text = t.to_string();
+        assert!(text.contains("only"));
+        assert!(text.contains("header"));
+    }
+
+    #[test]
+    fn len_counts_rows() {
+        let mut t = Table::new(vec!["c"]);
+        assert_eq!(t.len(), 0);
+        t.row(vec!["1".into()]).row(vec!["2".into()]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ragged_long_row_kept() {
+        let mut t = Table::new(vec!["one"]);
+        t.row(vec!["a".into(), "extra".into()]);
+        let text = t.to_string();
+        assert!(text.contains("extra"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Large-network probe (paper §5.2.2): 200 nodes, 1300×1300, 20 flows.
+use eend_wireless::{presets, stacks, Simulator};
+use std::time::Instant;
+
+fn main() {
+    for rate in [2.0, 4.0, 6.0] {
+        for stack in [
+            stacks::titan_pc(),
+            stacks::dsr_odpm_pc(),
+            stacks::dsrh_odpm(false),
+            stacks::dsr_active(),
+            stacks::dsdvh_odpm(),
+        ] {
+            let name = stack.name.clone();
+            let s = presets::large_network(stack, rate, 3);
+            let t0 = Instant::now();
+            let m = Simulator::new(&s).run();
+            println!(
+                "rate {rate} {name:28} wall {:>6.1?} dr {:.3} gp {:>6.0} bit/J rreq {:>6} ifq {:>5} lf {:>5}",
+                t0.elapsed(),
+                m.delivery_ratio(),
+                m.energy_goodput_bit_per_j(),
+                m.rreq_tx,
+                m.drops_ifq,
+                m.link_failures,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,30 @@
+//! Quick wall-clock probe: one paper-scale small-network run.
+use eend_wireless::{presets, stacks, Simulator};
+use std::time::Instant;
+
+fn main() {
+    for (name, s) in [
+        ("DSR-ODPM-PC", presets::small_network(stacks::dsr_odpm_pc(), 4.0, 1)),
+        ("TITAN-PC", presets::small_network(stacks::titan_pc(), 4.0, 1)),
+        ("DSR-Active", presets::small_network(stacks::dsr_active(), 4.0, 1)),
+        ("DSDVH-PSM", presets::small_network(stacks::dsdvh_odpm(), 4.0, 1)),
+        ("DSDVH-Span", presets::small_network(stacks::dsdvh_odpm_span(), 4.0, 1)),
+        ("DSRH-norate", presets::small_network(stacks::dsrh_odpm(false), 4.0, 1)),
+    ] {
+        let t0 = Instant::now();
+        let m = Simulator::new(&s).run();
+        let node_hours = 50.0 * 900.0 / 3600.0;
+        println!(
+            "{name:14} wall {:>8.0?} dr {:.3} gp {:>6.0} bit/J  idle_h {:>5.2} sleep_h {:>4.1}/{node_hours} atim {:>6} dsdv {:>6} bcoll {:>6} txJ {:.1}",
+            t0.elapsed(),
+            m.delivery_ratio(),
+            m.energy_goodput_bit_per_j(),
+            m.energy_total.time_idle.as_secs_f64() / 3600.0,
+            m.energy_total.time_sleep.as_secs_f64() / 3600.0,
+            m.atim_tx,
+            m.dsdv_update_tx,
+            m.broadcast_collisions,
+            m.transmit_energy_j(),
+        );
+    }
+}

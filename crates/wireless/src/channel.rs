@@ -1,0 +1,313 @@
+//! The shared radio channel: geometry, carrier sensing and collisions.
+//!
+//! We use the unit-disc model the paper (and ns-2's default PHY) assumes:
+//! a frame is decodable within the card's nominal range and the medium is
+//! sensed busy within a larger carrier-sense range (ns-2's classic
+//! 550 m/250 m ratio, i.e. 2.2×). Control frames (RTS/CTS) always use
+//! maximum power, so channel *reservations* cover the full footprint even
+//! when data frames are power-controlled — which is why power control does
+//! not shrink the interference footprint here (a known property of
+//! 802.11-style TPC, and the conservative choice).
+//!
+//! Collision rule: a reception at node `r` spanning `[start, end)` is
+//! corrupted if any *other* transmission overlapping that interval has a
+//! sender within carrier-sense range of `r` (hidden-terminal losses).
+//! Transmissions are logged for the check and pruned as time advances.
+
+use crate::frame::NodeId;
+use eend_sim::SimTime;
+
+/// Default carrier-sense range as a multiple of transmission range
+/// (ns-2's 550 m / 250 m).
+pub const CS_RANGE_FACTOR: f64 = 2.2;
+
+/// How long a transmission must have been on the air before other nodes
+/// can sense it (one 802.11 slot). Transmissions started inside this
+/// *vulnerable window* are invisible to carrier sensing — the mechanism
+/// behind slotted collisions and the density-driven breakdown of
+/// flooding (Table 2).
+pub const SENSE_DELAY: eend_sim::SimDuration = eend_sim::SimDuration::from_micros(20);
+
+/// One transmission on the medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Transmission {
+    sender: NodeId,
+    receiver: Option<NodeId>,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// The shared medium: node geometry plus in-flight transmissions.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    positions: Vec<(f64, f64)>,
+    range_m: f64,
+    cs_range_m: f64,
+    neighbors: Vec<Vec<NodeId>>,
+    live: Vec<Transmission>,
+    log: Vec<Transmission>,
+}
+
+impl Channel {
+    /// Creates a channel over node positions with the given transmission
+    /// range; carrier-sense range is [`CS_RANGE_FACTOR`]×.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_m` is not positive.
+    pub fn new(positions: Vec<(f64, f64)>, range_m: f64) -> Channel {
+        assert!(range_m > 0.0, "range must be positive");
+        let mut c = Channel {
+            positions,
+            range_m,
+            cs_range_m: range_m * CS_RANGE_FACTOR,
+            neighbors: Vec::new(),
+            live: Vec::new(),
+            log: Vec::new(),
+        };
+        c.rebuild_neighbors();
+        c
+    }
+
+    /// Replaces all node positions (mobility) and recomputes the
+    /// neighbour sets. In-flight transmissions keep their outcome from
+    /// the geometry at their start, consistent with sub-second ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of positions changes.
+    pub fn set_positions(&mut self, positions: Vec<(f64, f64)>) {
+        assert_eq!(positions.len(), self.positions.len(), "node count is fixed");
+        self.positions = positions;
+        self.rebuild_neighbors();
+    }
+
+    /// Current position of node `u`, metres.
+    pub fn position(&self, u: NodeId) -> (f64, f64) {
+        self.positions[u]
+    }
+
+    fn rebuild_neighbors(&mut self) {
+        let n = self.positions.len();
+        self.neighbors = vec![Vec::new(); n];
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if dist(self.positions[u], self.positions[v]) <= self.range_m {
+                    self.neighbors[u].push(v);
+                    self.neighbors[v].push(u);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes sharing the medium.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Transmission range, metres.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// Distance between two nodes, metres.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        dist(self.positions[u], self.positions[v])
+    }
+
+    /// Nodes within transmission range of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.neighbors[u]
+    }
+
+    /// `true` if `v` is within decoding range of `u`.
+    pub fn in_range(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.distance(u, v) <= self.range_m
+    }
+
+    /// Carrier sense at a prospective sender: `true` if any live
+    /// transmission that has been on the air for at least [`SENSE_DELAY`]
+    /// has a participant within carrier-sense range of `u`. Younger
+    /// transmissions are not yet detectable — the vulnerable window.
+    pub fn busy_near(&self, u: NodeId, now: SimTime) -> bool {
+        self.live.iter().any(|t| {
+            t.start + SENSE_DELAY <= now
+                && (self.within_cs(t.sender, u)
+                    || t.receiver.is_some_and(|r| self.within_cs(r, u)))
+        })
+    }
+
+    /// The latest end time among live transmissions conflicting with `u`'s
+    /// carrier sense, if any — when the medium frees up from `u`'s view.
+    pub fn busy_until(&self, u: NodeId) -> Option<SimTime> {
+        self.live
+            .iter()
+            .filter(|t| {
+                self.within_cs(t.sender, u)
+                    || t.receiver.is_some_and(|r| self.within_cs(r, u))
+            })
+            .map(|t| t.end)
+            .max()
+    }
+
+    /// `true` if a live transmission's *sender* covers node `r` — starting
+    /// a reception at `r` now would collide. Unlike carrier sensing this
+    /// has no detection delay: interference corrupts regardless of age.
+    pub fn covered(&self, r: NodeId) -> bool {
+        self.live.iter().any(|t| self.within_cs(t.sender, r))
+    }
+
+    /// Registers a transmission on the medium.
+    pub fn begin_tx(&mut self, sender: NodeId, receiver: Option<NodeId>, start: SimTime, end: SimTime) {
+        let t = Transmission { sender, receiver, start, end };
+        self.live.push(t);
+        self.log.push(t);
+    }
+
+    /// Removes a finished transmission from the live set and prunes the
+    /// collision log of entries ending before `now − horizon` is implied
+    /// by the oldest live entry (anything ended before every live start is
+    /// unreachable by future overlap queries of in-flight receptions).
+    pub fn end_tx(&mut self, sender: NodeId, now: SimTime) {
+        self.live.retain(|t| !(t.sender == sender && t.end <= now));
+        // Prune: collision checks only ask about intervals that are still
+        // in flight; keep log entries that could overlap any live one or
+        // that ended within the last 100 ms (the longest frame is ≪ that).
+        let hundred_ms_ago = SimTime::from_nanos(now.as_nanos().saturating_sub(100_000_000));
+        let floor = self
+            .live
+            .iter()
+            .map(|t| t.start)
+            .min()
+            .unwrap_or(hundred_ms_ago)
+            .min(hundred_ms_ago);
+        self.log.retain(|t| t.end >= floor);
+    }
+
+    /// Collision check for a reception at `r` spanning `[start, end)`:
+    /// `true` if any other logged transmission overlaps the interval with
+    /// a sender (other than `from`) within carrier-sense range of `r`.
+    pub fn reception_corrupted(&self, r: NodeId, from: NodeId, start: SimTime, end: SimTime) -> bool {
+        self.log.iter().any(|t| {
+            t.sender != from
+                && t.sender != r
+                && t.start < end
+                && t.end > start
+                && self.within_cs(t.sender, r)
+        })
+    }
+
+    fn within_cs(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.distance(a, b) <= self.cs_range_m
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Line: 0 --100m-- 1 --100m-- 2 --100m-- 3; range 120 m, cs 264 m.
+    fn line() -> Channel {
+        Channel::new(
+            vec![(0.0, 0.0), (100.0, 0.0), (200.0, 0.0), (300.0, 0.0)],
+            120.0,
+        )
+    }
+
+    #[test]
+    fn neighbor_lists() {
+        let c = line();
+        assert_eq!(c.neighbors(0), &[1]);
+        assert_eq!(c.neighbors(1), &[0, 2]);
+        assert!(c.in_range(1, 2));
+        assert!(!c.in_range(0, 2));
+        assert!(!c.in_range(2, 2), "self is never a neighbor");
+    }
+
+    #[test]
+    fn carrier_sense_extends_past_range() {
+        let mut c = line();
+        // 0 transmits to 1: node 2 (200 m from 0) is inside cs range
+        // (264 m) even though outside decode range. Sense after the
+        // detection delay has elapsed.
+        c.begin_tx(0, Some(1), t(0), t(10));
+        assert!(c.busy_near(2, t(1)));
+        assert!(c.busy_near(1, t(1)));
+        // Node 3 is 300 m from sender 0, but 200 m from receiver 1 → the
+        // receiver's CTS reserves its neighborhood too.
+        assert!(c.busy_near(3, t(1)));
+        assert_eq!(c.busy_until(2), Some(t(10)));
+    }
+
+    #[test]
+    fn vulnerable_window_hides_young_transmissions() {
+        let mut c = line();
+        c.begin_tx(0, Some(1), t(0), t(10));
+        // Within SENSE_DELAY of the start, the medium still reads free...
+        assert!(!c.busy_near(2, SimTime::from_micros(5)));
+        // ...and is detected once the slot has elapsed.
+        assert!(c.busy_near(2, SimTime::from_micros(20)));
+    }
+
+    #[test]
+    fn end_tx_clears_live() {
+        let mut c = line();
+        c.begin_tx(0, Some(1), t(0), t(10));
+        c.end_tx(0, t(10));
+        assert!(!c.busy_near(2, t(11)));
+        assert_eq!(c.busy_until(2), None);
+    }
+
+    #[test]
+    fn covered_detects_active_senders() {
+        let mut c = line();
+        c.begin_tx(3, Some(2), t(0), t(10));
+        // Node 1 is 200 m from sender 3 → covered.
+        assert!(c.covered(1));
+        // Node 0 is 300 m from sender 3 → clear.
+        assert!(!c.covered(0));
+    }
+
+    #[test]
+    fn hidden_terminal_corrupts_reception() {
+        let mut c = line();
+        // 0 → 1 reception in flight; 2 starts an overlapping transmission.
+        // Sender 2 is 100 m from receiver 1 → corruption.
+        c.begin_tx(0, Some(1), t(0), t(10));
+        c.begin_tx(2, Some(3), t(5), t(15));
+        assert!(c.reception_corrupted(1, 0, t(0), t(10)));
+        // The reverse reception at 3 (from 2) is also corrupted by 0? No:
+        // sender 0 is 300 m from 3, outside cs range.
+        assert!(!c.reception_corrupted(3, 2, t(5), t(15)));
+    }
+
+    #[test]
+    fn non_overlapping_transmissions_do_not_collide() {
+        let mut c = line();
+        c.begin_tx(0, Some(1), t(0), t(10));
+        c.begin_tx(2, Some(3), t(10), t(20));
+        assert!(!c.reception_corrupted(1, 0, t(0), t(10)), "back-to-back is clean");
+    }
+
+    #[test]
+    fn own_transmission_does_not_corrupt_itself() {
+        let mut c = line();
+        c.begin_tx(0, Some(1), t(0), t(10));
+        assert!(!c.reception_corrupted(1, 0, t(0), t(10)));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let c = line();
+        assert_eq!(c.distance(0, 3), c.distance(3, 0));
+        assert_eq!(c.distance(0, 3), 300.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Packets (network layer) and frames (link layer).
+
+use crate::routing::dsdv::DsdvEntry;
+
+/// Node identifier: a dense index into the simulator's node table.
+pub type NodeId = usize;
+
+/// Network-layer payload kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketKind {
+    /// Application data (a CBR packet of flow `flow`).
+    Data {
+        /// Index of the generating flow.
+        flow: usize,
+        /// Per-flow sequence number.
+        seq: u64,
+        /// The flow's offered rate, bits per second (carried in the header
+        /// so rate-aware metrics can read it, per Section 4.2).
+        rate_bps: f64,
+    },
+    /// Route request (reactive protocols): flooded towards `target`,
+    /// accumulating the metric cost and the traversed path.
+    Rreq {
+        /// Discovery identifier, unique per origin.
+        id: u64,
+        /// Node searching for a route.
+        origin: NodeId,
+        /// Node being searched for.
+        target: NodeId,
+        /// Accumulated route cost under the protocol's metric.
+        cost: f64,
+        /// Nodes traversed so far, origin first.
+        path: Vec<NodeId>,
+        /// Rate of the flow triggering the discovery (bits/s); used by the
+        /// joint metric's rate-aware variant.
+        rate_bps: f64,
+    },
+    /// Route reply: unicast back along the reversed request path.
+    Rrep {
+        /// The discovery this answers.
+        id: u64,
+        /// The discovery's origin (reply destination).
+        origin: NodeId,
+        /// The discovery's target (reply source).
+        target: NodeId,
+        /// Full route origin → target.
+        path: Vec<NodeId>,
+        /// Cost of `path` under the protocol's metric.
+        cost: f64,
+    },
+    /// Route error: reports a broken link back to a data packet's source.
+    Rerr {
+        /// Upstream endpoint of the broken link.
+        from: NodeId,
+        /// Downstream endpoint of the broken link.
+        to: NodeId,
+    },
+    /// DSDV full/triggered table advertisement (proactive protocols).
+    DsdvUpdate {
+        /// Advertised routes.
+        entries: Vec<DsdvEntry>,
+    },
+}
+
+impl PacketKind {
+    /// `true` for application data, `false` for protocol control.
+    pub fn is_data(&self) -> bool {
+        matches!(self, PacketKind::Data { .. })
+    }
+}
+
+/// A network-layer packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Unique packet id (for tracing and duplicate suppression).
+    pub uid: u64,
+    /// Payload.
+    pub kind: PacketKind,
+    /// Original source.
+    pub src: NodeId,
+    /// Final destination (`usize::MAX` for broadcast floods).
+    pub dst: NodeId,
+    /// Payload size in bytes (headers added at the MAC layer).
+    pub size_bytes: usize,
+    /// Source route for data/RREP/RERR (DSR-style); for hop-by-hop
+    /// protocols (DSDV) this doubles as the traversal trace.
+    pub route: Vec<NodeId>,
+    /// Position of the *current holder* within `route`.
+    pub hop_idx: usize,
+    /// Times this data packet survived a link failure and was re-routed
+    /// (bounded salvaging).
+    pub salvage: u8,
+}
+
+impl Packet {
+    /// The next hop according to the source route, if any remains.
+    pub fn next_hop(&self) -> Option<NodeId> {
+        self.route.get(self.hop_idx + 1).copied()
+    }
+
+    /// Size on the air including MAC/network headers: fixed header plus
+    /// 4 bytes per source-route entry plus the payload.
+    pub fn wire_bytes(&self) -> usize {
+        28 + 4 * self.route.len() + self.size_bytes
+    }
+}
+
+/// A link-layer frame: a packet addressed to a neighbor (or broadcast).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Transmitting node.
+    pub tx: NodeId,
+    /// Receiving neighbor, or `None` for link-layer broadcast.
+    pub rx: Option<NodeId>,
+    /// Carried packet.
+    pub packet: Packet,
+}
+
+impl Frame {
+    /// `true` if this frame is a link-layer broadcast.
+    pub fn is_broadcast(&self) -> bool {
+        self.rx.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_packet(route: Vec<NodeId>, hop_idx: usize) -> Packet {
+        Packet {
+            uid: 1,
+            kind: PacketKind::Data { flow: 0, seq: 0, rate_bps: 2000.0 },
+            src: route[0],
+            dst: *route.last().unwrap(),
+            size_bytes: 128,
+            route,
+            hop_idx,
+            salvage: 0,
+        }
+    }
+
+    #[test]
+    fn next_hop_walks_route() {
+        let p = data_packet(vec![3, 5, 7], 0);
+        assert_eq!(p.next_hop(), Some(5));
+        let p = data_packet(vec![3, 5, 7], 1);
+        assert_eq!(p.next_hop(), Some(7));
+        let p = data_packet(vec![3, 5, 7], 2);
+        assert_eq!(p.next_hop(), None);
+    }
+
+    #[test]
+    fn wire_bytes_counts_route_overhead() {
+        let short = data_packet(vec![0, 1], 0);
+        let long = data_packet(vec![0, 1, 2, 3], 0);
+        assert_eq!(long.wire_bytes() - short.wire_bytes(), 8);
+        assert_eq!(short.wire_bytes(), 28 + 8 + 128);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(PacketKind::Data { flow: 0, seq: 1, rate_bps: 1.0 }.is_data());
+        assert!(!PacketKind::Rerr { from: 0, to: 1 }.is_data());
+    }
+
+    #[test]
+    fn broadcast_frames() {
+        let p = data_packet(vec![0, 1], 0);
+        assert!(Frame { tx: 0, rx: None, packet: p.clone() }.is_broadcast());
+        assert!(!Frame { tx: 0, rx: Some(1), packet: p }.is_broadcast());
+    }
+}

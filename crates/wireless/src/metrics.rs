@@ -1,0 +1,204 @@
+//! Per-run measurement results.
+
+use crate::frame::NodeId;
+use eend_radio::EnergyReport;
+
+/// Everything one simulation run measures: the paper's two headline
+/// metrics (delivery ratio, energy goodput) plus the breakdowns behind
+/// Fig 10 (transmit energy) and the control-overhead discussion.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Data packets handed to routing at their sources.
+    pub data_sent: u64,
+    /// Data packets delivered to their destinations.
+    pub data_delivered: u64,
+    /// Application bits delivered.
+    pub delivered_bits: f64,
+    /// Data drops: discovery gave up.
+    pub drops_no_route: u64,
+    /// Data drops: link failure past salvage.
+    pub drops_link_failure: u64,
+    /// Data drops: routing-layer buffers.
+    pub drops_buffer: u64,
+    /// Data drops: MAC interface queue overflow.
+    pub drops_ifq: u64,
+    /// Route requests transmitted (flood copies, not discoveries).
+    pub rreq_tx: u64,
+    /// Route replies transmitted (per hop).
+    pub rrep_tx: u64,
+    /// Route errors transmitted (per hop).
+    pub rerr_tx: u64,
+    /// DSDV table advertisements transmitted.
+    pub dsdv_update_tx: u64,
+    /// ATIM announcements charged.
+    pub atim_tx: u64,
+    /// Broadcast receptions corrupted by hidden-terminal overlap.
+    pub broadcast_collisions: u64,
+    /// Unicast attempts aborted by a busy receiver (RTS collision).
+    pub rts_collisions: u64,
+    /// Frames abandoned after the MAC retry limit.
+    pub link_failures: u64,
+    /// Per-node energy reports.
+    pub per_node_energy: Vec<EnergyReport>,
+    /// Network energy total (Eq 4).
+    pub energy_total: EnergyReport,
+    /// Nodes that forwarded at least one data frame they did not source —
+    /// the paper's "number of relays".
+    pub data_forwarders: usize,
+    /// Last route observed per flow (source-route or DSDV trace).
+    pub routes: Vec<Option<Vec<NodeId>>>,
+    /// Simulated horizon, seconds.
+    pub duration_s: f64,
+}
+
+impl RunMetrics {
+    /// Delivery ratio: received / sent (1 when nothing was sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.data_sent == 0 {
+            1.0
+        } else {
+            self.data_delivered as f64 / self.data_sent as f64
+        }
+    }
+
+    /// Total network energy, joules.
+    pub fn enetwork_j(&self) -> f64 {
+        self.energy_total.total_mj() / 1000.0
+    }
+
+    /// Energy goodput: delivered application bits per joule.
+    pub fn energy_goodput_bit_per_j(&self) -> f64 {
+        let j = self.enetwork_j();
+        if j <= 0.0 {
+            0.0
+        } else {
+            self.delivered_bits / j
+        }
+    }
+
+    /// Transmit-side energy (Fig 10's metric), joules.
+    pub fn transmit_energy_j(&self) -> f64 {
+        self.energy_total.transmit_mj() / 1000.0
+    }
+
+    /// Control-overhead energy (Eq 2 summed over nodes), joules.
+    pub fn control_energy_j(&self) -> f64 {
+        self.energy_total.control_mj() / 1000.0
+    }
+
+    /// Projected network lifetime: with every node starting from
+    /// `battery_j` joules and draining at its measured average power,
+    /// when does the first node die? (The paper's stated future work —
+    /// instantaneous energy minimisation does not automatically maximise
+    /// lifetime; this exposes the gap.) Returns `f64::INFINITY` when no
+    /// node consumed anything.
+    pub fn lifetime_to_first_death_s(&self, battery_j: f64) -> f64 {
+        assert!(battery_j > 0.0, "battery capacity must be positive");
+        self.per_node_energy
+            .iter()
+            .map(|r| r.total_mj() / 1000.0 / self.duration_s) // watts
+            .filter(|&w| w > 0.0)
+            .map(|w| battery_j / w)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Imbalance of the energy burden: ratio of the hungriest node's
+    /// consumption to the mean. 1.0 = perfectly balanced; large values
+    /// mean a few relays carry the network (and die first).
+    pub fn energy_imbalance(&self) -> f64 {
+        if self.per_node_energy.is_empty() {
+            return 1.0;
+        }
+        let totals: Vec<f64> = self.per_node_energy.iter().map(|r| r.total_mj()).collect();
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        totals.iter().copied().fold(0.0, f64::max) / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zeroed() -> RunMetrics {
+        RunMetrics {
+            data_sent: 0,
+            data_delivered: 0,
+            delivered_bits: 0.0,
+            drops_no_route: 0,
+            drops_link_failure: 0,
+            drops_buffer: 0,
+            drops_ifq: 0,
+            rreq_tx: 0,
+            rrep_tx: 0,
+            rerr_tx: 0,
+            dsdv_update_tx: 0,
+            atim_tx: 0,
+            broadcast_collisions: 0,
+            rts_collisions: 0,
+            link_failures: 0,
+            per_node_energy: Vec::new(),
+            energy_total: EnergyReport::default(),
+            data_forwarders: 0,
+            routes: Vec::new(),
+            duration_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn delivery_ratio_edge_cases() {
+        let mut m = zeroed();
+        assert_eq!(m.delivery_ratio(), 1.0, "vacuous truth with no traffic");
+        m.data_sent = 10;
+        m.data_delivered = 7;
+        assert!((m.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_zero_without_energy() {
+        let mut m = zeroed();
+        m.delivered_bits = 1000.0;
+        assert_eq!(m.energy_goodput_bit_per_j(), 0.0);
+        m.energy_total.idle_mj = 500.0; // 0.5 J
+        assert!((m.energy_goodput_bit_per_j() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let mut m = zeroed();
+        m.energy_total.tx_data_mj = 1500.0;
+        m.energy_total.tx_ctrl_mj = 500.0;
+        m.energy_total.rx_ctrl_mj = 250.0;
+        assert!((m.transmit_energy_j() - 2.0).abs() < 1e-12);
+        assert!((m.control_energy_j() - 0.75).abs() < 1e-12);
+        assert!((m.enetwork_j() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_tracks_the_hungriest_node() {
+        let mut m = zeroed();
+        m.duration_s = 10.0;
+        let a = EnergyReport { idle_mj: 5_000.0, ..EnergyReport::default() }; // 5 J / 10 s = 0.5 W
+        let b = EnergyReport { idle_mj: 10_000.0, ..EnergyReport::default() }; // 10 J / 10 s = 1 W
+        m.per_node_energy = vec![a, b];
+        // 100 J battery / 1 W (hungriest) = 100 s.
+        assert!((m.lifetime_to_first_death_s(100.0) - 100.0).abs() < 1e-9);
+        // Imbalance: max 10_000 over mean 7_500.
+        assert!((m.energy_imbalance() - 10_000.0 / 7_500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_of_silent_network_is_infinite() {
+        let m = zeroed();
+        assert_eq!(m.lifetime_to_first_death_s(1.0), f64::INFINITY);
+        assert_eq!(m.energy_imbalance(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "battery capacity")]
+    fn zero_battery_rejected() {
+        zeroed().lifetime_to_first_death_s(0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Node mobility models.
+//!
+//! The paper evaluates static networks, but its protocols (DSR, ODPM,
+//! TITAN) are ad hoc protocols whose repair machinery only shows under
+//! motion. This module adds the literature's standard *random waypoint*
+//! model as an extension: each node repeatedly picks a uniform point in
+//! the deployment's bounding box and a uniform speed, walks there, pauses,
+//! and repeats. Positions advance in discrete ticks (default 1 s), after
+//! which the channel's neighbour sets are rebuilt.
+
+use eend_sim::{SimDuration, SimRng};
+
+/// The mobility model of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mobility {
+    /// Nodes never move (the paper's setting).
+    Static,
+    /// Random waypoint within the deployment's bounding box.
+    RandomWaypoint {
+        /// Uniform speed range `(min, max)` in m/s (e.g. pedestrian 0.5–2).
+        speed_range: (f64, f64),
+        /// Pause at each waypoint.
+        pause: SimDuration,
+        /// Position-update granularity.
+        tick: SimDuration,
+    },
+}
+
+impl Mobility {
+    /// Random waypoint with 1 s ticks.
+    pub fn random_waypoint(min_speed: f64, max_speed: f64, pause_s: f64) -> Mobility {
+        assert!(
+            min_speed > 0.0 && max_speed >= min_speed,
+            "speed range must be positive and ordered"
+        );
+        Mobility::RandomWaypoint {
+            speed_range: (min_speed, max_speed),
+            pause: SimDuration::from_secs_f64(pause_s),
+            tick: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Per-node waypoint state.
+#[derive(Debug, Clone)]
+pub struct WaypointState {
+    target: (f64, f64),
+    speed_mps: f64,
+    pause_left_s: f64,
+}
+
+/// Evolves all nodes by one tick of `dt` seconds within `bounds`
+/// (`(min_x, min_y, max_x, max_y)`), mutating `positions` in place.
+pub fn step_waypoints(
+    positions: &mut [(f64, f64)],
+    states: &mut [WaypointState],
+    bounds: (f64, f64, f64, f64),
+    speed_range: (f64, f64),
+    pause_s: f64,
+    dt_s: f64,
+    rng: &mut SimRng,
+) {
+    for (pos, st) in positions.iter_mut().zip(states.iter_mut()) {
+        if st.pause_left_s > 0.0 {
+            st.pause_left_s -= dt_s;
+            continue;
+        }
+        let (dx, dy) = (st.target.0 - pos.0, st.target.1 - pos.1);
+        let dist = (dx * dx + dy * dy).sqrt();
+        let step = st.speed_mps * dt_s;
+        if dist <= step {
+            *pos = st.target;
+            st.pause_left_s = pause_s;
+            st.target = (
+                rng.range_f64(bounds.0, bounds.2.max(bounds.0 + 1e-9)),
+                rng.range_f64(bounds.1, bounds.3.max(bounds.1 + 1e-9)),
+            );
+            st.speed_mps = rng.range_f64(speed_range.0, speed_range.1.max(speed_range.0 + 1e-12));
+        } else {
+            pos.0 += dx / dist * step;
+            pos.1 += dy / dist * step;
+        }
+    }
+}
+
+/// Initial waypoint states: every node starts moving towards a random
+/// target at a random speed.
+pub fn init_waypoints(
+    positions: &[(f64, f64)],
+    bounds: (f64, f64, f64, f64),
+    speed_range: (f64, f64),
+    rng: &mut SimRng,
+) -> Vec<WaypointState> {
+    positions
+        .iter()
+        .map(|_| WaypointState {
+            target: (
+                rng.range_f64(bounds.0, bounds.2.max(bounds.0 + 1e-9)),
+                rng.range_f64(bounds.1, bounds.3.max(bounds.1 + 1e-9)),
+            ),
+            speed_mps: rng.range_f64(speed_range.0, speed_range.1.max(speed_range.0 + 1e-12)),
+            pause_left_s: 0.0,
+        })
+        .collect()
+}
+
+/// Bounding box of a set of positions (degenerate boxes allowed).
+pub fn bounding_box(positions: &[(f64, f64)]) -> (f64, f64, f64, f64) {
+    let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in positions {
+        b.0 = b.0.min(x);
+        b.1 = b.1.min(y);
+        b.2 = b.2.max(x);
+        b.3 = b.3.max(y);
+    }
+    if positions.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_covers_points() {
+        let pts = [(1.0, 5.0), (-2.0, 3.0), (4.0, -1.0)];
+        assert_eq!(bounding_box(&pts), (-2.0, -1.0, 4.0, 5.0));
+        assert_eq!(bounding_box(&[]), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn nodes_stay_in_bounds_and_move() {
+        let bounds = (0.0, 0.0, 500.0, 500.0);
+        let mut rng = SimRng::new(3);
+        let mut positions: Vec<(f64, f64)> =
+            (0..20).map(|_| (rng.range_f64(0.0, 500.0), rng.range_f64(0.0, 500.0))).collect();
+        let initial = positions.clone();
+        let mut states = init_waypoints(&positions, bounds, (1.0, 5.0), &mut rng);
+        for _ in 0..600 {
+            step_waypoints(&mut positions, &mut states, bounds, (1.0, 5.0), 2.0, 1.0, &mut rng);
+        }
+        let mut moved = 0;
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            assert!((0.0..=500.0).contains(&x), "x out of bounds: {x}");
+            assert!((0.0..=500.0).contains(&y), "y out of bounds: {y}");
+            if (x - initial[i].0).abs() + (y - initial[i].1).abs() > 1.0 {
+                moved += 1;
+            }
+        }
+        assert!(moved >= 18, "nearly all nodes must have moved, got {moved}");
+    }
+
+    #[test]
+    fn speed_limits_respected() {
+        let bounds = (0.0, 0.0, 1000.0, 1000.0);
+        let mut rng = SimRng::new(9);
+        let mut positions = vec![(500.0, 500.0)];
+        let mut states = init_waypoints(&positions, bounds, (2.0, 2.0), &mut rng);
+        for _ in 0..100 {
+            let before = positions[0];
+            step_waypoints(&mut positions, &mut states, bounds, (2.0, 2.0), 0.0, 1.0, &mut rng);
+            let after = positions[0];
+            let d = ((after.0 - before.0).powi(2) + (after.1 - before.1).powi(2)).sqrt();
+            assert!(d <= 2.0 + 1e-9, "moved {d} m in 1 s at 2 m/s");
+        }
+    }
+
+    #[test]
+    fn pause_halts_motion() {
+        let bounds = (0.0, 0.0, 100.0, 100.0);
+        let mut rng = SimRng::new(4);
+        let mut positions = vec![(0.0, 0.0)];
+        let mut states = init_waypoints(&positions, bounds, (1000.0, 1000.0), &mut rng);
+        // Huge speed: reaches the waypoint in one tick, then pauses.
+        step_waypoints(&mut positions, &mut states, bounds, (1000.0, 1000.0), 5.0, 1.0, &mut rng);
+        let at_waypoint = positions[0];
+        step_waypoints(&mut positions, &mut states, bounds, (1000.0, 1000.0), 5.0, 1.0, &mut rng);
+        assert_eq!(positions[0], at_waypoint, "paused node must not move");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let bounds = (0.0, 0.0, 300.0, 300.0);
+        let run = |seed| {
+            let mut rng = SimRng::new(seed);
+            let mut pos: Vec<(f64, f64)> =
+                (0..5).map(|_| (rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0))).collect();
+            let mut st = init_waypoints(&pos, bounds, (1.0, 3.0), &mut rng);
+            for _ in 0..50 {
+                step_waypoints(&mut pos, &mut st, bounds, (1.0, 3.0), 1.0, 1.0, &mut rng);
+            }
+            pos
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

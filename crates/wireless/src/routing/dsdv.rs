@@ -1,0 +1,609 @@
+//! Proactive distance-vector routing: DSDV and DSDVH.
+//!
+//! DSDV (Perkins & Bhagwat) maintains a destination-sequenced routing
+//! table refreshed by periodic full-table broadcasts. DSDVH is the paper's
+//! joint-optimisation variant (Section 4.2): the table metric is the
+//! joint cost `h(u,v)` of Eq 12 instead of hop count, nodes track their
+//! neighbours' power-management state, and — crucially — a node whose own
+//! PM state changes must advertise, since every route through it changes
+//! cost. That triggered-update load is exactly the overhead the paper
+//! blames for DSDVH-ODPM's poor energy goodput.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::frame::{Frame, NodeId, Packet, PacketKind};
+use crate::power::PmMode;
+use crate::routing::metric::RouteMetric;
+use crate::routing::{Action, DropReason, RoutingCtx, TimerKind};
+use eend_sim::{SimDuration, SimTime};
+
+/// One advertised route in a DSDV update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsdvEntry {
+    /// Advertised destination.
+    pub dst: NodeId,
+    /// Advertiser's metric to that destination.
+    pub metric: f64,
+    /// Destination sequence number (even = valid, odd = broken).
+    pub seq: u64,
+}
+
+/// Bytes per advertised entry on the wire.
+const BYTES_PER_ENTRY: usize = 12;
+
+/// Tuning of the DSDV family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsdvConfig {
+    /// Table metric: `HopCount` for DSDV, `JointNoRate` for DSDVH.
+    pub metric: RouteMetric,
+    /// Periodic full-update interval.
+    pub periodic: SimDuration,
+    /// Advertise on own PM-state changes (the DSDVH behaviour).
+    pub trigger_on_pm_change: bool,
+    /// Advertise (rate-limited, without bumping the own sequence number)
+    /// whenever a route with a newer destination sequence is adopted —
+    /// standard DSDV triggered updates. This is what propagates every
+    /// periodic advertisement across the network as a flood, and what
+    /// keeps PSM nodes awake "for an entire beacon interval" (§5.2.1).
+    pub trigger_on_adoption: bool,
+    /// Minimum spacing between triggered updates.
+    pub min_trigger_gap: SimDuration,
+    /// Packets buffered per destination while no route exists.
+    pub buffer_per_dst: usize,
+}
+
+impl DsdvConfig {
+    /// Plain DSDV: hop-count metric, 15 s periodic updates.
+    pub fn dsdv() -> DsdvConfig {
+        DsdvConfig {
+            metric: RouteMetric::HopCount,
+            periodic: SimDuration::from_secs(15),
+            trigger_on_pm_change: false,
+            trigger_on_adoption: true,
+            min_trigger_gap: SimDuration::from_secs(1),
+            buffer_per_dst: 5,
+        }
+    }
+
+    /// DSDVH: joint metric plus PM-change triggered updates.
+    pub fn dsdvh() -> DsdvConfig {
+        DsdvConfig {
+            metric: RouteMetric::JointNoRate,
+            trigger_on_pm_change: true,
+            ..DsdvConfig::dsdv()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TableRoute {
+    next: NodeId,
+    metric: f64,
+    seq: u64,
+}
+
+/// Per-node DSDV state.
+#[derive(Debug, Clone)]
+pub struct DsdvRouting {
+    cfg: DsdvConfig,
+    table: HashMap<NodeId, TableRoute>,
+    buffer: HashMap<NodeId, VecDeque<Packet>>,
+    own_seq: u64,
+    last_trigger: Option<SimTime>,
+    /// Destinations adopted since the last advertisement; triggered
+    /// updates are *incremental* (DSDV's design) and carry only these.
+    dirty: Vec<NodeId>,
+    /// Updates broadcast (metrics).
+    pub updates_sent: u64,
+}
+
+impl DsdvRouting {
+    /// Fresh state for one node.
+    pub fn new(cfg: DsdvConfig) -> DsdvRouting {
+        DsdvRouting {
+            cfg,
+            table: HashMap::new(),
+            buffer: HashMap::new(),
+            own_seq: 0,
+            last_trigger: None,
+            dirty: Vec::new(),
+            updates_sent: 0,
+        }
+    }
+
+    /// The current next hop towards `dst`, if a valid route exists.
+    pub fn next_hop(&self, dst: NodeId) -> Option<NodeId> {
+        self.table.get(&dst).filter(|r| r.metric.is_finite()).map(|r| r.next)
+    }
+
+    /// Number of valid table entries.
+    pub fn route_count(&self) -> usize {
+        self.table.values().filter(|r| r.metric.is_finite()).count()
+    }
+
+    fn build_update(&mut self, ctx: &RoutingCtx<'_>, full: bool) -> Frame {
+        if full {
+            self.own_seq += 2;
+        }
+        self.updates_sent += 1;
+        let mut entries = vec![DsdvEntry { dst: ctx.node, metric: 0.0, seq: self.own_seq }];
+        let mut dsts: Vec<NodeId> = if full {
+            self.table.keys().copied().collect()
+        } else {
+            let mut d = std::mem::take(&mut self.dirty);
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+        dsts.sort_unstable(); // deterministic advertisement order
+        if full {
+            self.dirty.clear();
+        }
+        for dst in dsts {
+            let Some(r) = self.table.get(&dst) else { continue };
+            entries.push(DsdvEntry { dst, metric: r.metric, seq: r.seq });
+        }
+        let size = BYTES_PER_ENTRY * entries.len();
+        let packet = Packet {
+            uid: 0,
+            kind: PacketKind::DsdvUpdate { entries },
+            src: ctx.node,
+            dst: usize::MAX,
+            size_bytes: size,
+            route: Vec::new(),
+            hop_idx: 0,
+            salvage: 0,
+        };
+        Frame { tx: ctx.node, rx: None, packet }
+    }
+
+    /// Handles a freshly generated application packet.
+    pub fn on_app_packet(&mut self, ctx: &mut RoutingCtx<'_>, mut packet: Packet) -> Vec<Action> {
+        match self.next_hop(packet.dst) {
+            Some(next) => {
+                packet.route = vec![ctx.node];
+                packet.hop_idx = 0;
+                vec![Action::Send(Frame { tx: ctx.node, rx: Some(next), packet })]
+            }
+            None => {
+                let buf = self.buffer.entry(packet.dst).or_default();
+                if buf.len() >= self.cfg.buffer_per_dst {
+                    return vec![Action::Drop(packet, DropReason::BufferOverflow)];
+                }
+                buf.push_back(packet);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Handles a received frame.
+    pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+        let from = frame.tx;
+        let mut packet = frame.packet;
+        match packet.kind.clone() {
+            PacketKind::DsdvUpdate { entries } => self.on_update(ctx, from, &entries),
+            PacketKind::Data { .. } => {
+                let me = ctx.node;
+                if packet.dst == me {
+                    packet.route.push(me);
+                    return vec![Action::Deliver(packet)];
+                }
+                if packet.route.contains(&me) {
+                    // Transient loop while tables converge: shed the packet.
+                    return vec![Action::Drop(packet, DropReason::NoRoute)];
+                }
+                match self.next_hop(packet.dst) {
+                    Some(next) => {
+                        packet.route.push(me);
+                        packet.hop_idx += 1;
+                        vec![Action::Send(Frame { tx: me, rx: Some(next), packet })]
+                    }
+                    None => vec![Action::Drop(packet, DropReason::NoRoute)],
+                }
+            }
+            // Reactive control traffic is foreign to DSDV nodes.
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_update(
+        &mut self,
+        ctx: &mut RoutingCtx<'_>,
+        from: NodeId,
+        entries: &[DsdvEntry],
+    ) -> Vec<Action> {
+        let me = ctx.node;
+        let dist = ctx.channel.distance(from, me);
+        let in_psm = ctx.pm_modes[me] == PmMode::PowerSave;
+        let link = self.cfg.metric.link_cost(ctx.card, dist, in_psm, 0.0, ctx.bandwidth_bps);
+        let mut learned_new_dst = false;
+        let mut adopted_newer_seq = false;
+        for e in entries {
+            if e.dst == me {
+                continue;
+            }
+            let new_metric = if e.metric.is_finite() { e.metric + link } else { f64::INFINITY };
+            let adopt = match self.table.get(&e.dst) {
+                None => true,
+                Some(cur) => {
+                    e.seq > cur.seq || (e.seq == cur.seq && new_metric < cur.metric - 1e-9)
+                }
+            };
+            if adopt {
+                match self.table.get(&e.dst) {
+                    None if new_metric.is_finite() => {
+                        learned_new_dst = true;
+                        adopted_newer_seq = true;
+                    }
+                    Some(cur) if e.seq > cur.seq => adopted_newer_seq = true,
+                    _ => {}
+                }
+                self.table.insert(e.dst, TableRoute { next: from, metric: new_metric, seq: e.seq });
+                self.dirty.push(e.dst);
+            }
+        }
+        // Flush buffered packets whose destinations became reachable.
+        let mut actions = Vec::new();
+        // Standard DSDV triggered update: propagate newly adopted sequence
+        // numbers promptly (rate-limited; own sequence is not bumped, so
+        // the cascade settles once every node has seen the new numbers).
+        if adopted_newer_seq && self.cfg.trigger_on_adoption {
+            let gap_ok = self
+                .last_trigger
+                .is_none_or(|last| ctx.now >= last + self.cfg.min_trigger_gap);
+            if gap_ok {
+                self.last_trigger = Some(ctx.now);
+                actions.push(Action::Send(self.build_update(ctx, false)));
+            }
+        }
+        if learned_new_dst {
+            let reachable: Vec<NodeId> = self
+                .buffer
+                .keys()
+                .copied()
+                .filter(|d| self.next_hop(*d).is_some())
+                .collect();
+            for dst in reachable {
+                let next = self.next_hop(dst).expect("filtered");
+                if let Some(buf) = self.buffer.remove(&dst) {
+                    for mut p in buf {
+                        p.route = vec![me];
+                        p.hop_idx = 0;
+                        actions.push(Action::Send(Frame { tx: me, rx: Some(next), packet: p }));
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// Handles a fired timer (periodic advertisement).
+    pub fn on_timer(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind) -> Vec<Action> {
+        if kind != TimerKind::DsdvPeriodic {
+            return Vec::new();
+        }
+        let frame = self.build_update(ctx, true);
+        vec![
+            Action::Send(frame),
+            Action::Timer(TimerKind::DsdvPeriodic, ctx.now + self.cfg.periodic),
+        ]
+    }
+
+    /// Handles a dead link reported by the MAC: mark routes through the
+    /// failed neighbour broken (odd sequence, the DSDV convention).
+    pub fn on_link_failure(&mut self, _ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+        let Some(bad) = frame.rx else { return Vec::new() };
+        for r in self.table.values_mut() {
+            if r.next == bad && r.metric.is_finite() {
+                r.metric = f64::INFINITY;
+                r.seq += 1;
+            }
+        }
+        if frame.packet.kind.is_data() {
+            vec![Action::Drop(frame.packet, DropReason::LinkFailure)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// DSDVH's trigger: the node's own PM state changed, so every route
+    /// through it changed cost — advertise (rate-limited).
+    pub fn on_pm_changed(&mut self, ctx: &mut RoutingCtx<'_>, _mode: PmMode) -> Vec<Action> {
+        if !self.cfg.trigger_on_pm_change {
+            return Vec::new();
+        }
+        if let Some(last) = self.last_trigger {
+            if ctx.now < last + self.cfg.min_trigger_gap {
+                return Vec::new();
+            }
+        }
+        self.last_trigger = Some(ctx.now);
+        vec![Action::Send(self.build_update(ctx, false))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use eend_radio::cards;
+    use eend_sim::SimRng;
+
+    fn line_channel() -> Channel {
+        Channel::new(
+            vec![(0.0, 0.0), (100.0, 0.0), (200.0, 0.0), (300.0, 0.0)],
+            120.0,
+        )
+    }
+
+    struct World {
+        channel: Channel,
+        pm: Vec<PmMode>,
+        card: eend_radio::RadioCard,
+        rng: SimRng,
+    }
+
+    impl World {
+        fn new(pm: Vec<PmMode>) -> World {
+            World { channel: line_channel(), pm, card: cards::cabletron(), rng: SimRng::new(3) }
+        }
+        fn ctx(&mut self, node: NodeId, now_ms: u64) -> RoutingCtx<'_> {
+            RoutingCtx {
+                node,
+                now: SimTime::from_millis(now_ms),
+                channel: &self.channel,
+                pm_modes: &self.pm,
+                card: &self.card,
+                bandwidth_bps: 2_000_000.0,
+                rng: &mut self.rng,
+            }
+        }
+    }
+
+    fn data(src: NodeId, dst: NodeId) -> Packet {
+        Packet {
+            uid: 1,
+            kind: PacketKind::Data { flow: 0, seq: 0, rate_bps: 2000.0 },
+            src,
+            dst,
+            size_bytes: 128,
+            route: Vec::new(),
+            hop_idx: 0,
+            salvage: 0,
+        }
+    }
+
+    /// Propagates periodic updates until tables converge on the line.
+    fn converge(w: &mut World, nodes: &mut [DsdvRouting]) {
+        for round in 0..4 {
+            // Collect each node's advertisement, then deliver to neighbors.
+            let frames: Vec<Frame> = (0..nodes.len())
+                .map(|i| {
+                    let mut ctx = w.ctx(i, 100 * (round + 1));
+                    let acts = nodes[i].on_timer(&mut ctx, TimerKind::DsdvPeriodic);
+                    let Action::Send(f) = &acts[0] else { panic!() };
+                    f.clone()
+                })
+                .collect();
+            for f in frames {
+                let neighbors: Vec<NodeId> = w.channel.neighbors(f.tx).to_vec();
+                for r in neighbors {
+                    let mut ctx = w.ctx(r, 100 * (round + 1) + 1);
+                    nodes[r].on_frame(&mut ctx, f.clone());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_converge_on_line() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut nodes: Vec<DsdvRouting> = (0..4).map(|_| DsdvRouting::new(DsdvConfig::dsdv())).collect();
+        converge(&mut w, &mut nodes);
+        assert_eq!(nodes[0].next_hop(3), Some(1));
+        assert_eq!(nodes[1].next_hop(3), Some(2));
+        assert_eq!(nodes[2].next_hop(3), Some(3));
+        assert_eq!(nodes[3].next_hop(0), Some(2));
+        assert_eq!(nodes[0].route_count(), 3);
+    }
+
+    #[test]
+    fn data_forwards_along_table() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut nodes: Vec<DsdvRouting> = (0..4).map(|_| DsdvRouting::new(DsdvConfig::dsdv())).collect();
+        converge(&mut w, &mut nodes);
+        let a = nodes[0].on_app_packet(&mut w.ctx(0, 500), data(0, 3));
+        let Action::Send(f) = &a[0] else { panic!() };
+        assert_eq!(f.rx, Some(1));
+        // Forward at node 1, then 2, deliver at 3.
+        let a = nodes[1].on_frame(&mut w.ctx(1, 501), f.clone());
+        let Action::Send(f1) = &a[0] else { panic!() };
+        assert_eq!(f1.rx, Some(2));
+        let a = nodes[2].on_frame(&mut w.ctx(2, 502), f1.clone());
+        let Action::Send(f2) = &a[0] else { panic!() };
+        assert_eq!(f2.rx, Some(3));
+        let a = nodes[3].on_frame(&mut w.ctx(3, 503), f2.clone());
+        let Action::Deliver(p) = &a[0] else { panic!() };
+        assert_eq!(p.route, vec![0, 1, 2, 3], "trace records the path");
+    }
+
+    #[test]
+    fn no_route_buffers_then_flushes() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut n0 = DsdvRouting::new(DsdvConfig::dsdv());
+        // No routes yet: buffered.
+        assert!(n0.on_app_packet(&mut w.ctx(0, 0), data(0, 1)).is_empty());
+        // Node 1 advertises itself; node 0 learns and flushes.
+        let mut n1 = DsdvRouting::new(DsdvConfig::dsdv());
+        let a = n1.on_timer(&mut w.ctx(1, 10), TimerKind::DsdvPeriodic);
+        let Action::Send(update) = &a[0] else { panic!() };
+        let a = n0.on_frame(&mut w.ctx(0, 11), update.clone());
+        // Two actions: the adoption-triggered advertisement plus the
+        // flushed data packet.
+        let flushed: Vec<&Frame> = a
+            .iter()
+            .filter_map(|x| match x {
+                Action::Send(f) if f.packet.kind.is_data() => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flushed.len(), 1, "buffered packet must flush: {a:?}");
+        assert_eq!(flushed[0].rx, Some(1));
+        assert!(
+            a.iter().any(|x| matches!(x, Action::Send(f) if f.is_broadcast())),
+            "adoption must trigger an advertisement"
+        );
+    }
+
+    #[test]
+    fn adoption_trigger_is_rate_limited_and_keeps_own_seq() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut n1 = DsdvRouting::new(DsdvConfig::dsdv());
+        let update = |seq| Frame {
+            tx: 0,
+            rx: None,
+            packet: Packet {
+                uid: 0,
+                kind: PacketKind::DsdvUpdate { entries: vec![DsdvEntry { dst: 3, metric: 1.0, seq }] },
+                src: 0,
+                dst: usize::MAX,
+                size_bytes: 12,
+                route: Vec::new(),
+                hop_idx: 0,
+                salvage: 0,
+            },
+        };
+        let a = n1.on_frame(&mut w.ctx(1, 0), update(2));
+        assert_eq!(a.len(), 1, "first adoption triggers");
+        let Action::Send(f) = &a[0] else { panic!() };
+        let PacketKind::DsdvUpdate { entries } = &f.packet.kind else { panic!() };
+        // Triggered updates must not bump the node's own sequence number,
+        // or the cascade would never converge.
+        assert_eq!(entries[0].seq, 0, "own seq stays 0 on a triggered update");
+        // Within the gap: adoption of an even newer seq stays silent.
+        let a = n1.on_frame(&mut w.ctx(1, 500), update(4));
+        assert!(a.is_empty(), "rate limit must hold: {a:?}");
+        // After the gap it may trigger again.
+        let a = n1.on_frame(&mut w.ctx(1, 1500), update(6));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn buffer_overflow_drops() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut n0 = DsdvRouting::new(DsdvConfig::dsdv());
+        for _ in 0..5 {
+            assert!(n0.on_app_packet(&mut w.ctx(0, 0), data(0, 3)).is_empty());
+        }
+        let a = n0.on_app_packet(&mut w.ctx(0, 0), data(0, 3));
+        assert!(matches!(a[0], Action::Drop(_, DropReason::BufferOverflow)));
+    }
+
+    #[test]
+    fn newer_sequence_wins_same_sequence_needs_better_metric() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut n1 = DsdvRouting::new(DsdvConfig::dsdv());
+        let update = |seq, metric| Frame {
+            tx: 0,
+            rx: None,
+            packet: Packet {
+                uid: 0,
+                kind: PacketKind::DsdvUpdate {
+                    entries: vec![DsdvEntry { dst: 3, metric, seq }],
+                },
+                src: 0,
+                dst: usize::MAX,
+                size_bytes: 12,
+                route: Vec::new(),
+                hop_idx: 0,
+                salvage: 0,
+            },
+        };
+        n1.on_frame(&mut w.ctx(1, 0), update(2, 5.0));
+        assert_eq!(n1.next_hop(3), Some(0));
+        // Same seq, worse metric via node 2: rejected.
+        let update2 = Frame { tx: 2, ..update(2, 7.0) };
+        n1.on_frame(&mut w.ctx(1, 1), update2);
+        assert_eq!(n1.next_hop(3), Some(0));
+        // Same seq, better metric via node 2: adopted.
+        let update3 = Frame { tx: 2, ..update(2, 1.0) };
+        n1.on_frame(&mut w.ctx(1, 2), update3);
+        assert_eq!(n1.next_hop(3), Some(2));
+        // Newer seq wins regardless.
+        let update4 = Frame { tx: 0, ..update(4, 50.0) };
+        n1.on_frame(&mut w.ctx(1, 3), update4);
+        assert_eq!(n1.next_hop(3), Some(0));
+    }
+
+    #[test]
+    fn link_failure_invalidates_routes_via_neighbor() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut nodes: Vec<DsdvRouting> = (0..4).map(|_| DsdvRouting::new(DsdvConfig::dsdv())).collect();
+        converge(&mut w, &mut nodes);
+        assert_eq!(nodes[0].next_hop(3), Some(1));
+        let mut p = data(0, 3);
+        p.route = vec![0];
+        let a = nodes[0].on_link_failure(&mut w.ctx(0, 600), Frame { tx: 0, rx: Some(1), packet: p });
+        assert!(matches!(a[0], Action::Drop(_, DropReason::LinkFailure)));
+        assert_eq!(nodes[0].next_hop(3), None, "routes via 1 must be broken");
+        assert_eq!(nodes[0].next_hop(1), None);
+    }
+
+    #[test]
+    fn pm_change_triggers_update_for_dsdvh_only() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut dsdvh = DsdvRouting::new(DsdvConfig::dsdvh());
+        let a = dsdvh.on_pm_changed(&mut w.ctx(1, 1000), PmMode::PowerSave);
+        assert_eq!(a.len(), 1, "DSDVH must advertise on PM change");
+        assert!(matches!(&a[0], Action::Send(f) if f.is_broadcast()));
+        // Rate limited within the gap.
+        let a = dsdvh.on_pm_changed(&mut w.ctx(1, 1200), PmMode::ActiveMode);
+        assert!(a.is_empty(), "inside min_trigger_gap");
+        let a = dsdvh.on_pm_changed(&mut w.ctx(1, 2500), PmMode::ActiveMode);
+        assert_eq!(a.len(), 1, "after the gap");
+        // Plain DSDV never triggers.
+        let mut dsdv = DsdvRouting::new(DsdvConfig::dsdv());
+        assert!(dsdv.on_pm_changed(&mut w.ctx(1, 5000), PmMode::PowerSave).is_empty());
+    }
+
+    #[test]
+    fn update_size_grows_with_table() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut nodes: Vec<DsdvRouting> = (0..4).map(|_| DsdvRouting::new(DsdvConfig::dsdv())).collect();
+        let a = nodes[0].on_timer(&mut w.ctx(0, 1), TimerKind::DsdvPeriodic);
+        let Action::Send(f) = &a[0] else { panic!() };
+        let empty_size = f.packet.size_bytes;
+        converge(&mut w, &mut nodes);
+        let a = nodes[0].on_timer(&mut w.ctx(0, 999), TimerKind::DsdvPeriodic);
+        let Action::Send(f) = &a[0] else { panic!() };
+        assert!(f.packet.size_bytes > empty_size, "full table costs more airtime");
+        assert_eq!(f.packet.size_bytes, 12 * 4, "self + 3 destinations");
+    }
+
+    #[test]
+    fn loop_guard_sheds_looping_packets() {
+        let mut w = World::new(vec![PmMode::ActiveMode; 4]);
+        let mut n1 = DsdvRouting::new(DsdvConfig::dsdv());
+        // Fake a route for dst 3 via node 0 and a packet that already
+        // visited node 1.
+        let update = Frame {
+            tx: 0,
+            rx: None,
+            packet: Packet {
+                uid: 0,
+                kind: PacketKind::DsdvUpdate { entries: vec![DsdvEntry { dst: 3, metric: 1.0, seq: 2 }] },
+                src: 0,
+                dst: usize::MAX,
+                size_bytes: 12,
+                route: Vec::new(),
+                hop_idx: 0,
+                salvage: 0,
+            },
+        };
+        n1.on_frame(&mut w.ctx(1, 0), update);
+        let mut p = data(0, 3);
+        p.route = vec![0, 1, 2];
+        let a = n1.on_frame(&mut w.ctx(1, 1), Frame { tx: 2, rx: Some(1), packet: p });
+        assert!(matches!(a[0], Action::Drop(_, DropReason::NoRoute)));
+    }
+}

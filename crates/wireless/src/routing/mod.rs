@@ -1,0 +1,134 @@
+//! Routing agents: reactive source routing (DSR / MTPR / MTPR+ / DSRH)
+//! and proactive distance-vector (DSDV / DSDVH).
+//!
+//! Agents are pure state machines: every entry point takes a
+//! [`RoutingCtx`] (read-only view of the world plus the node's RNG) and
+//! returns [`Action`]s for the simulator to execute. This keeps protocol
+//! logic free of borrow entanglement with the event loop and — more
+//! importantly — unit-testable without a running simulation.
+
+pub mod dsdv;
+pub mod metric;
+pub mod reactive;
+
+use crate::channel::Channel;
+use crate::frame::{Frame, NodeId, Packet};
+use crate::power::PmMode;
+use eend_radio::RadioCard;
+use eend_sim::{SimRng, SimTime};
+
+pub use dsdv::{DsdvConfig, DsdvRouting};
+pub use metric::RouteMetric;
+pub use reactive::{ReactiveConfig, ReactiveRouting};
+
+/// Why a data packet was dropped (metrics bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Route discovery exhausted its attempts.
+    NoRoute,
+    /// A link on the path failed past the MAC retry limit.
+    LinkFailure,
+    /// The routing layer's own buffer overflowed.
+    BufferOverflow,
+}
+
+/// Timers a routing agent can arm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimerKind {
+    /// Reactive: discovery for `target` times out (attempt number given).
+    Discovery {
+        /// Node being discovered.
+        target: NodeId,
+        /// 1-based attempt count.
+        attempt: u32,
+    },
+    /// Proactive: periodic full-table advertisement.
+    DsdvPeriodic,
+}
+
+/// What an agent asks the simulator to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Enqueue a frame at this node's MAC.
+    Send(Frame),
+    /// Enqueue a frame at a later instant (TITAN's PSM forwarding delay).
+    SendAt(Frame, SimTime),
+    /// The packet reached its destination: count the delivery.
+    Deliver(Packet),
+    /// Count a drop.
+    Drop(Packet, DropReason),
+    /// Arm a routing timer.
+    Timer(TimerKind, SimTime),
+}
+
+/// Read-only world view handed to agents, plus the node's RNG stream.
+#[derive(Debug)]
+pub struct RoutingCtx<'a> {
+    /// This node's id.
+    pub node: NodeId,
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Geometry (distances, neighbour sets).
+    pub channel: &'a Channel,
+    /// Power-management mode of every node. Protocols may read their
+    /// *neighbours'* modes (learned from beacons in the real system) and
+    /// their own.
+    pub pm_modes: &'a [PmMode],
+    /// The radio card (for metric evaluation).
+    pub card: &'a RadioCard,
+    /// Channel bandwidth, bits per second.
+    pub bandwidth_bps: f64,
+    /// This node's RNG stream.
+    pub rng: &'a mut SimRng,
+}
+
+/// A node's routing agent.
+#[derive(Debug, Clone)]
+pub enum RoutingAgent {
+    /// DSR-family reactive source routing.
+    Reactive(ReactiveRouting),
+    /// DSDV-family proactive distance vector.
+    Dsdv(DsdvRouting),
+}
+
+impl RoutingAgent {
+    /// The application hands over a freshly generated data packet.
+    pub fn on_app_packet(&mut self, ctx: &mut RoutingCtx<'_>, packet: Packet) -> Vec<Action> {
+        match self {
+            RoutingAgent::Reactive(r) => r.on_app_packet(ctx, packet),
+            RoutingAgent::Dsdv(d) => d.on_app_packet(ctx, packet),
+        }
+    }
+
+    /// A frame addressed to (or broadcast at) this node arrived.
+    pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+        match self {
+            RoutingAgent::Reactive(r) => r.on_frame(ctx, frame),
+            RoutingAgent::Dsdv(d) => d.on_frame(ctx, frame),
+        }
+    }
+
+    /// A previously armed timer fired.
+    pub fn on_timer(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind) -> Vec<Action> {
+        match self {
+            RoutingAgent::Reactive(r) => r.on_timer(ctx, kind),
+            RoutingAgent::Dsdv(d) => d.on_timer(ctx, kind),
+        }
+    }
+
+    /// The MAC gave up on a frame after the retry limit.
+    pub fn on_link_failure(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+        match self {
+            RoutingAgent::Reactive(r) => r.on_link_failure(ctx, frame),
+            RoutingAgent::Dsdv(d) => d.on_link_failure(ctx, frame),
+        }
+    }
+
+    /// This node's power-management mode changed (DSDVH's trigger).
+    pub fn on_pm_changed(&mut self, ctx: &mut RoutingCtx<'_>, mode: PmMode) -> Vec<Action> {
+        match self {
+            RoutingAgent::Reactive(_) => Vec::new(),
+            RoutingAgent::Dsdv(d) => d.on_pm_changed(ctx, mode),
+        }
+    }
+}

@@ -1,0 +1,1259 @@
+//! The simulation event loop.
+//!
+//! [`Simulator`] wires the substrates together: CBR sources hand packets
+//! to per-node routing agents, whose frames queue at transaction-level
+//! MACs sharing the [`Channel`]; PSM beacons, ODPM keep-alives and energy
+//! meters run alongside. Every run is fully deterministic in the scenario
+//! seed.
+//!
+//! The loop is a classic discrete-event dispatch; each event handler is a
+//! method on [`Simulator`]. Routing agents are pure state machines (see
+//! [`crate::routing`]) whose [`Action`]s the loop interprets, so no layer
+//! ever borrows across another.
+
+use crate::channel::Channel;
+use crate::frame::{Frame, NodeId, Packet, PacketKind};
+use crate::mac::{plan_at, MacState, MacTiming, UnicastPlan};
+use crate::metrics::RunMetrics;
+use crate::power::{NodePm, PmMode, PowerPolicy};
+use crate::routing::{
+    Action, DropReason, DsdvRouting, ReactiveRouting, RoutingAgent, RoutingCtx, TimerKind,
+};
+use crate::scenario::{RoutingKind, Scenario};
+use crate::traffic::Flow;
+use eend_radio::{EnergyMeter, EnergyReport, RadioCard, RadioState, TrafficClass};
+use eend_sim::{mix_seed, EventQueue, SimDuration, SimRng, SimTime, TimerFire};
+
+/// ATIM frame body size, bytes.
+const ATIM_BYTES: usize = 28;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    PacketGen(usize),
+    MacTick(NodeId),
+    TxnEnd(NodeId),
+    Beacon,
+    AtimEnd,
+    SleepCheck(NodeId),
+    PmKeepalive(NodeId),
+    RoutingTimer(NodeId, TimerKind),
+    EnqueueAt(NodeId, Frame),
+    NodeFail(NodeId),
+    MobilityTick,
+}
+
+#[derive(Debug, Clone)]
+enum TxnKind {
+    /// Full RTS/CTS/DATA/ACK exchange with `rx`.
+    Unicast { rx: NodeId },
+    /// DIFS + DATA to every listed receiver.
+    Broadcast { receivers: Vec<NodeId> },
+    /// RTS that will get no CTS (receiver jammed); ends in a retry.
+    RtsFail,
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    kind: TxnKind,
+    frame: Frame,
+    start: SimTime,
+    plan: UnicastPlan,
+    data_power_mw: f64,
+}
+
+struct Node {
+    mac: MacState,
+    meter: EnergyMeter,
+    routing: RoutingAgent,
+    txn: Option<Txn>,
+    forwarded_data: bool,
+}
+
+/// The packet-level simulator. Construct with [`Simulator::new`], call
+/// [`Simulator::run`].
+pub struct Simulator {
+    // Immutable configuration.
+    card: RadioCard,
+    mac_timing: MacTiming,
+    policy: PowerPolicy,
+    psm: crate::power::PsmConfig,
+    power_control: bool,
+    end: SimTime,
+    // World state.
+    time: SimTime,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    channel: Channel,
+    nodes: Vec<Node>,
+    pm: Vec<NodePm>,
+    pm_modes: Vec<PmMode>,
+    flows: Vec<Flow>,
+    alive: Vec<bool>,
+    mobility: crate::mobility::Mobility,
+    waypoints: Vec<crate::mobility::WaypointState>,
+    bounds: (f64, f64, f64, f64),
+    mobility_rng: SimRng,
+    last_beacon: SimTime,
+    atim_cursor: Vec<SimTime>,
+    next_uid: u64,
+    // Measurement.
+    m: Counters,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.time)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    data_sent: u64,
+    data_delivered: u64,
+    delivered_bits: f64,
+    drops_no_route: u64,
+    drops_link_failure: u64,
+    drops_buffer: u64,
+    drops_ifq: u64,
+    rreq_tx: u64,
+    rrep_tx: u64,
+    rerr_tx: u64,
+    dsdv_update_tx: u64,
+    atim_tx: u64,
+    broadcast_collisions: u64,
+    rts_collisions: u64,
+    link_failures: u64,
+    routes: Vec<Option<Vec<NodeId>>>,
+}
+
+impl Simulator {
+    /// Builds a simulator for `scenario`. Placement and flow endpoints are
+    /// drawn from the scenario seed.
+    pub fn new(scenario: &Scenario) -> Simulator {
+        let mut master = SimRng::new(mix_seed(&[scenario.seed, 0xEE4D]));
+        let mut placement_rng = master.fork(1);
+        let mut traffic_rng = master.fork(2);
+        let sim_rng = master.fork(3);
+        let mut mobility_rng = master.fork(4);
+
+        let positions = scenario.placement.positions(&mut placement_rng);
+        let n = positions.len();
+        let bounds = crate::mobility::bounding_box(&positions);
+        let waypoints = match &scenario.mobility {
+            crate::mobility::Mobility::Static => Vec::new(),
+            crate::mobility::Mobility::RandomWaypoint { speed_range, .. } => {
+                crate::mobility::init_waypoints(&positions, bounds, *speed_range, &mut mobility_rng)
+            }
+        };
+        let channel = Channel::new(positions, scenario.card.nominal_range_m);
+        let flows = scenario.flows.materialize(n, &mut traffic_rng);
+
+        let initial_mode = scenario.stack.power_policy.initial_mode();
+        let initial_state = match initial_mode {
+            PmMode::ActiveMode => RadioState::Idle,
+            PmMode::PowerSave => RadioState::Sleep,
+        };
+        let nodes = (0..n)
+            .map(|_| Node {
+                mac: MacState::new(scenario.queue_capacity),
+                meter: EnergyMeter::starting(scenario.card, SimTime::ZERO, initial_state),
+                routing: match &scenario.stack.routing {
+                    RoutingKind::Reactive(cfg) => {
+                        RoutingAgent::Reactive(ReactiveRouting::new(*cfg))
+                    }
+                    RoutingKind::Dsdv(cfg) => RoutingAgent::Dsdv(DsdvRouting::new(*cfg)),
+                },
+                txn: None,
+                forwarded_data: false,
+            })
+            .collect();
+
+        let mut sim = Simulator {
+            card: scenario.card,
+            mac_timing: scenario.mac,
+            policy: scenario.stack.power_policy,
+            psm: scenario.stack.psm,
+            power_control: scenario.stack.power_control,
+            end: SimTime::ZERO + scenario.duration,
+            time: SimTime::ZERO,
+            queue: EventQueue::with_capacity(1024),
+            rng: sim_rng,
+            channel,
+            nodes,
+            pm: (0..n).map(|_| NodePm::new(initial_mode)).collect(),
+            pm_modes: vec![initial_mode; n],
+            flows,
+            alive: vec![true; n],
+            mobility: scenario.mobility.clone(),
+            waypoints,
+            bounds,
+            mobility_rng,
+            last_beacon: SimTime::ZERO,
+            atim_cursor: vec![SimTime::ZERO; n],
+            next_uid: 1,
+            m: Counters::default(),
+        };
+        sim.m.routes = vec![None; sim.flows.len()];
+        for &(at, node) in &scenario.node_failures {
+            assert!(node < n, "failure injected for unknown node {node}");
+            sim.queue.schedule(at, Event::NodeFail(node));
+        }
+
+        for i in 0..sim.flows.len() {
+            sim.queue.schedule(sim.flows[i].start, Event::PacketGen(i));
+        }
+        sim.queue.schedule(SimTime::ZERO, Event::Beacon);
+        if let crate::mobility::Mobility::RandomWaypoint { tick, .. } = &scenario.mobility {
+            sim.queue.schedule(SimTime::ZERO + *tick, Event::MobilityTick);
+        }
+        if let RoutingKind::Dsdv(cfg) = &scenario.stack.routing {
+            // Spread the periodic advertisements uniformly over one full
+            // period: independent DSDV nodes are unsynchronised, so the
+            // network sees a continuous update stream rather than bursts.
+            let period_ns = cfg.periodic.as_nanos().max(1);
+            for i in 0..n {
+                let jitter = SimDuration::from_nanos(sim.rng.below(period_ns));
+                sim.queue
+                    .schedule(SimTime::ZERO + jitter, Event::RoutingTimer(i, TimerKind::DsdvPeriodic));
+            }
+        }
+        sim
+    }
+
+    /// Runs to the configured horizon and returns the measurements.
+    pub fn run(mut self) -> RunMetrics {
+        while let Some(t) = self.queue.peek_time() {
+            if t > self.end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            debug_assert!(t >= self.time, "event time went backwards");
+            self.time = t;
+            self.handle(ev);
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> RunMetrics {
+        let end = self.end;
+        let per_node_energy: Vec<EnergyReport> =
+            self.nodes.iter_mut().map(|n| n.meter.finish(end)).collect();
+        let mut energy_total = EnergyReport::default();
+        for r in &per_node_energy {
+            energy_total.accumulate(r);
+        }
+        let data_forwarders = self.nodes.iter().filter(|n| n.forwarded_data).count();
+        RunMetrics {
+            data_sent: self.m.data_sent,
+            data_delivered: self.m.data_delivered,
+            delivered_bits: self.m.delivered_bits,
+            drops_no_route: self.m.drops_no_route,
+            drops_link_failure: self.m.drops_link_failure,
+            drops_buffer: self.m.drops_buffer,
+            drops_ifq: self.m.drops_ifq,
+            rreq_tx: self.m.rreq_tx,
+            rrep_tx: self.m.rrep_tx,
+            rerr_tx: self.m.rerr_tx,
+            dsdv_update_tx: self.m.dsdv_update_tx,
+            atim_tx: self.m.atim_tx,
+            broadcast_collisions: self.m.broadcast_collisions,
+            rts_collisions: self.m.rts_collisions,
+            link_failures: self.m.link_failures,
+            per_node_energy,
+            energy_total,
+            data_forwarders,
+            routes: self.m.routes,
+            duration_s: (end - SimTime::ZERO).as_secs_f64(),
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::PacketGen(i) => self.on_packet_gen(i),
+            Event::MacTick(u) => self.on_mac_tick(u),
+            Event::TxnEnd(u) => self.on_txn_end(u),
+            Event::Beacon => self.on_beacon(),
+            Event::AtimEnd => self.on_atim_end(),
+            Event::SleepCheck(u) => self.try_sleep(u),
+            Event::PmKeepalive(u) => self.on_pm_keepalive(u),
+            Event::RoutingTimer(u, kind) => {
+                let actions = self.call_routing(u, |r, ctx| r.on_timer(ctx, kind));
+                self.apply_actions(u, actions);
+            }
+            Event::EnqueueAt(u, frame) => self.enqueue_frame(u, frame),
+            Event::NodeFail(u) => self.on_node_fail(u),
+            Event::MobilityTick => self.on_mobility_tick(),
+        }
+    }
+
+    fn on_mobility_tick(&mut self) {
+        let crate::mobility::Mobility::RandomWaypoint { speed_range, pause, tick } =
+            self.mobility.clone()
+        else {
+            return;
+        };
+        let n = self.nodes.len();
+        let mut positions: Vec<(f64, f64)> = (0..n).map(|i| self.channel.position(i)).collect();
+        crate::mobility::step_waypoints(
+            &mut positions,
+            &mut self.waypoints,
+            self.bounds,
+            speed_range,
+            pause.as_secs_f64(),
+            tick.as_secs_f64(),
+            &mut self.mobility_rng,
+        );
+        self.channel.set_positions(positions);
+        self.queue.schedule(self.time + tick, Event::MobilityTick);
+    }
+
+    /// Kills node `u`: radio permanently off. In-flight transactions it
+    /// participates in complete (the energy was already committed), but
+    /// it originates and receives nothing afterwards.
+    fn on_node_fail(&mut self, u: NodeId) {
+        if !self.alive[u] {
+            return;
+        }
+        self.alive[u] = false;
+        while self.nodes[u].mac.pop_head().is_some() {}
+        self.pm[u].keepalive.cancel();
+        self.pm[u].awake_until = SimTime::ZERO;
+        self.pm[u].mode = PmMode::PowerSave;
+        self.pm_modes[u] = PmMode::PowerSave;
+        if !self.nodes[u].mac.busy && self.nodes[u].meter.state() != RadioState::Sleep {
+            self.nodes[u].meter.set_sleep(self.time);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic.
+
+    fn on_packet_gen(&mut self, i: usize) {
+        let flow = &mut self.flows[i];
+        let packet = Packet {
+            uid: 0,
+            kind: PacketKind::Data { flow: i, seq: flow.next_seq, rate_bps: flow.rate_bps },
+            src: flow.src,
+            dst: flow.dst,
+            size_bytes: flow.packet_bytes,
+            route: Vec::new(),
+            hop_idx: 0,
+            salvage: 0,
+        };
+        flow.next_seq += 1;
+        let src = flow.src;
+        let next = self.time + flow.interval;
+        if next <= self.end {
+            self.queue.schedule(next, Event::PacketGen(i));
+        }
+        self.m.data_sent += 1;
+        let actions = self.call_routing(src, |r, ctx| r.on_app_packet(ctx, packet));
+        self.apply_actions(src, actions);
+    }
+
+    // ------------------------------------------------------------------
+    // Routing plumbing.
+
+    fn call_routing(
+        &mut self,
+        u: NodeId,
+        f: impl FnOnce(&mut RoutingAgent, &mut RoutingCtx<'_>) -> Vec<Action>,
+    ) -> Vec<Action> {
+        let Simulator { nodes, channel, pm_modes, rng, card, mac_timing, time, .. } = self;
+        let mut ctx = RoutingCtx {
+            node: u,
+            now: *time,
+            channel,
+            pm_modes,
+            card,
+            bandwidth_bps: mac_timing.bandwidth_bps,
+            rng,
+        };
+        f(&mut nodes[u].routing, &mut ctx)
+    }
+
+    fn apply_actions(&mut self, u: NodeId, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send(frame) => self.enqueue_frame(u, frame),
+                Action::SendAt(frame, at) => {
+                    self.queue.schedule(at.max(self.time), Event::EnqueueAt(u, frame));
+                }
+                Action::Deliver(packet) => {
+                    if let PacketKind::Data { flow, .. } = packet.kind {
+                        self.m.data_delivered += 1;
+                        self.m.delivered_bits += (packet.size_bytes * 8) as f64;
+                        self.m.routes[flow] = Some(packet.route.clone());
+                    }
+                }
+                Action::Drop(packet, reason) => self.count_drop(&packet, reason),
+                Action::Timer(kind, at) => {
+                    self.queue.schedule(at.max(self.time), Event::RoutingTimer(u, kind));
+                }
+            }
+        }
+    }
+
+    fn count_drop(&mut self, packet: &Packet, reason: DropReason) {
+        if !packet.kind.is_data() {
+            return;
+        }
+        match reason {
+            DropReason::NoRoute => self.m.drops_no_route += 1,
+            DropReason::LinkFailure => self.m.drops_link_failure += 1,
+            DropReason::BufferOverflow => self.m.drops_buffer += 1,
+        }
+    }
+
+    fn enqueue_frame(&mut self, u: NodeId, mut frame: Frame) {
+        if frame.packet.uid == 0 {
+            frame.packet.uid = self.next_uid;
+            self.next_uid += 1;
+        }
+        let is_data = frame.packet.kind.is_data();
+        if !self.nodes[u].mac.enqueue(frame) {
+            if is_data {
+                self.m.drops_ifq += 1;
+            }
+            return;
+        }
+        self.schedule_mac_tick(u, self.time);
+    }
+
+    fn schedule_mac_tick(&mut self, u: NodeId, at: SimTime) {
+        if self.nodes[u].mac.tick_pending || self.nodes[u].mac.busy {
+            return;
+        }
+        self.nodes[u].mac.tick_pending = true;
+        self.queue.schedule(at.max(self.time), Event::MacTick(u));
+    }
+
+    // ------------------------------------------------------------------
+    // MAC.
+
+    fn in_atim(&self, now: SimTime) -> bool {
+        now >= self.last_beacon && now < self.last_beacon + self.psm.atim_window
+    }
+
+    fn is_awake(&self, v: NodeId, now: SimTime) -> bool {
+        self.pm[v].is_awake(now, self.in_atim(now))
+    }
+
+    fn on_mac_tick(&mut self, u: NodeId) {
+        self.nodes[u].mac.tick_pending = false;
+        if !self.alive[u] || self.nodes[u].mac.busy || self.nodes[u].mac.queue_is_empty() {
+            return;
+        }
+        let now = self.time;
+        // A sleeping PSM sender waits for the beacon to announce.
+        if !self.is_awake(u, now) {
+            return;
+        }
+        // Find an eligible head frame, rotating past frames whose
+        // destinations are asleep.
+        let qlen = self.nodes[u].mac.queue_len();
+        let mut eligible = false;
+        for _ in 0..qlen {
+            let head = self.nodes[u].mac.head().expect("non-empty");
+            let ok = match head.rx {
+                // A dead receiver is "eligible" so the attempt proceeds to
+                // an unanswered RTS and surfaces as a link failure.
+                Some(v) => !self.alive[v] || self.is_awake(v, now),
+                None => {
+                    // Broadcast: every living PSM neighbour must be up
+                    // (they are, right after an announced beacon).
+                    self.channel.neighbors(u).iter().all(|&w| {
+                        !self.alive[w]
+                            || self.pm_modes[w] == PmMode::ActiveMode
+                            || self.is_awake(w, now)
+                    })
+                }
+            };
+            if ok {
+                eligible = true;
+                break;
+            }
+            self.nodes[u].mac.rotate_head();
+        }
+        if !eligible {
+            return; // the next beacon's announcements will unblock us
+        }
+
+        // Carrier sense (subject to the slot-time detection delay).
+        if self.channel.busy_near(u, now) {
+            let until = self.channel.busy_until(u).unwrap_or(now);
+            let stage = self.nodes[u].mac.retries;
+            let delay = self.mac_timing.difs + self.mac_timing.backoff(&mut self.rng, stage);
+            self.schedule_mac_tick(u, until + delay);
+            return;
+        }
+
+        let head = self.nodes[u].mac.head().expect("non-empty").clone();
+        match head.rx {
+            Some(v) => {
+                if !self.channel.in_range(u, v) {
+                    // Stale route onto a non-link: treat as immediate failure.
+                    let frame = self.nodes[u].mac.drop_head().expect("head");
+                    self.m.link_failures += 1;
+                    let actions = self.call_routing(u, |r, ctx| r.on_link_failure(ctx, frame));
+                    self.apply_actions(u, actions);
+                    self.schedule_mac_tick(u, now);
+                    return;
+                }
+                if self.channel.covered(v) || !self.alive[v] || self.nodes[v].mac.busy {
+                    // Hidden sender is jamming the receiver, the receiver
+                    // is dead, or it is mid-transmission itself: the RTS
+                    // will go unanswered.
+                    self.m.rts_collisions += 1;
+                    let (rts, cts, _, _) = self.mac_timing.unicast_segments(0);
+                    let fail_end = now
+                        + self.mac_timing.difs
+                        + rts
+                        + self.mac_timing.sifs
+                        + cts;
+                    self.channel.begin_tx(u, None, now, fail_end);
+                    self.nodes[u].mac.busy = true;
+                    self.nodes[u].txn = Some(Txn {
+                        kind: TxnKind::RtsFail,
+                        frame: head,
+                        start: now,
+                        plan: UnicastPlan::for_bytes(&self.mac_timing, 0),
+                        data_power_mw: 0.0,
+                    });
+                    self.queue.schedule(fail_end, Event::TxnEnd(u));
+                    return;
+                }
+                // Clean unicast transaction.
+                let frame = self.nodes[u].mac.pop_head().expect("head");
+                let bytes = frame.packet.wire_bytes();
+                let plan = UnicastPlan::for_bytes(&self.mac_timing, bytes);
+                let dist = self.channel.distance(u, v);
+                let data_power_mw = if frame.packet.kind.is_data() {
+                    self.card.data_tx_power_mw(dist, self.power_control)
+                } else {
+                    self.card.max_tx_total_power_mw()
+                };
+                let end = now + plan.end;
+                self.channel.begin_tx(u, Some(v), now, end);
+                self.nodes[u].mac.busy = true;
+                self.nodes[v].mac.busy = true;
+                self.nodes[u].txn =
+                    Some(Txn { kind: TxnKind::Unicast { rx: v }, frame, start: now, plan, data_power_mw });
+                self.queue.schedule(end, Event::TxnEnd(u));
+            }
+            None => {
+                let frame = self.nodes[u].mac.pop_head().expect("head");
+                let bytes = frame.packet.wire_bytes();
+                let dur = self.mac_timing.broadcast_duration(bytes);
+                let end = now + dur;
+                // Lock in the audience: awake, not otherwise engaged.
+                let receivers: Vec<NodeId> = self
+                    .channel
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&r| self.alive[r] && self.is_awake(r, now) && !self.nodes[r].mac.busy)
+                    .collect();
+                self.channel.begin_tx(u, None, now, end);
+                self.nodes[u].mac.busy = true;
+                for &r in &receivers {
+                    self.nodes[r].mac.busy = true;
+                }
+                self.nodes[u].txn = Some(Txn {
+                    kind: TxnKind::Broadcast { receivers },
+                    frame,
+                    start: now,
+                    plan: UnicastPlan::for_bytes(&self.mac_timing, bytes),
+                    data_power_mw: self.card.max_tx_total_power_mw(),
+                });
+                self.queue.schedule(end, Event::TxnEnd(u));
+            }
+        }
+    }
+
+    fn on_txn_end(&mut self, u: NodeId) {
+        let txn = self.nodes[u].txn.take().expect("transaction in flight");
+        let now = self.time;
+        self.channel.end_tx(u, now);
+        self.nodes[u].mac.busy = false;
+        match txn.kind.clone() {
+            TxnKind::RtsFail => {
+                self.charge_rts_fail(u, &txn);
+                self.nodes[u].mac.retries += 1;
+                if self.nodes[u].mac.retries > self.mac_timing.retry_limit {
+                    let frame = self.nodes[u].mac.drop_head().expect("head still queued");
+                    self.m.link_failures += 1;
+                    let actions = self.call_routing(u, |r, ctx| r.on_link_failure(ctx, frame));
+                    self.apply_actions(u, actions);
+                    self.schedule_mac_tick(u, now);
+                } else {
+                    let stage = self.nodes[u].mac.retries;
+                    let delay = self.mac_timing.difs + self.mac_timing.backoff(&mut self.rng, stage);
+                    self.schedule_mac_tick(u, now + delay);
+                }
+            }
+            TxnKind::Unicast { rx: v } => {
+                // Slotted collision: another sender inside the vulnerable
+                // window may have started over our RTS. The exchange dies
+                // at the handshake; retry with backoff.
+                let (rts_air, _, _, _) = txn.plan.segments;
+                let rts_start = txn.start + txn.plan.rts_start;
+                let rts_end = rts_start + rts_air;
+                if self.channel.reception_corrupted(v, u, rts_start, rts_end) {
+                    self.charge_rts_fail(u, &txn);
+                    self.nodes[v].mac.busy = false;
+                    self.m.rts_collisions += 1;
+                    self.nodes[u].mac.push_front(txn.frame);
+                    self.nodes[u].mac.retries += 1;
+                    if self.nodes[u].mac.retries > self.mac_timing.retry_limit {
+                        let frame = self.nodes[u].mac.drop_head().expect("head");
+                        self.m.link_failures += 1;
+                        let actions =
+                            self.call_routing(u, |r, ctx| r.on_link_failure(ctx, frame));
+                        self.apply_actions(u, actions);
+                        self.schedule_mac_tick(u, now);
+                    } else {
+                        let stage = self.nodes[u].mac.retries;
+                        let delay =
+                            self.mac_timing.difs + self.mac_timing.backoff(&mut self.rng, stage);
+                        self.schedule_mac_tick(u, now + delay);
+                    }
+                    self.schedule_mac_tick(v, now);
+                    return;
+                }
+                self.charge_unicast(u, v, &txn);
+                self.nodes[v].mac.busy = false;
+                self.count_tx(u, &txn.frame);
+                self.pm_hooks(u, v, &txn.frame);
+                if self.psm.span_improved && self.pm[v].announced_incoming > 0 {
+                    self.pm[v].announced_incoming -= 1;
+                }
+                let frame = txn.frame;
+                let actions = self.call_routing(v, |r, ctx| r.on_frame(ctx, frame));
+                self.apply_actions(v, actions);
+                self.schedule_mac_tick(u, now);
+                self.schedule_mac_tick(v, now);
+                self.try_sleep_soon(u);
+                self.try_sleep_soon(v);
+            }
+            TxnKind::Broadcast { receivers } => {
+                self.charge_broadcast(u, &receivers, &txn);
+                self.count_tx(u, &txn.frame);
+                if std::env::var_os("EEND_TRACE_BCAST").is_some() {
+                    let psm_rx = receivers
+                        .iter()
+                        .filter(|&&r| self.pm[r].mode == PmMode::PowerSave)
+                        .count();
+                    let neighbors = self.channel.neighbors(u).len();
+                    eprintln!(
+                        "bcast t={} from={} kind={:?} receivers={}/{} psm_rx={}",
+                        now,
+                        u,
+                        std::mem::discriminant(&txn.frame.packet.kind),
+                        receivers.len(),
+                        neighbors,
+                        psm_rx
+                    );
+                }
+                for &r in &receivers {
+                    self.nodes[r].mac.busy = false;
+                    // Baseline IEEE PSM: a broadcast keeps its PSM
+                    // receivers awake for the rest of the beacon interval
+                    // ("these updates keep nodes awake for an entire
+                    // beacon interval", §5.2.1). The Span improvement
+                    // (advertised traffic window) lets them sleep again
+                    // once the advertised frame has been received.
+                    if !self.psm.span_improved && self.pm[r].mode == PmMode::PowerSave {
+                        let until = self.last_beacon + self.psm.beacon_interval;
+                        if self.pm[r].awake_until < until {
+                            self.pm[r].awake_until = until;
+                        }
+                    }
+                }
+                for &r in &receivers {
+                    if self.channel.reception_corrupted(r, u, txn.start, now) {
+                        self.m.broadcast_collisions += 1;
+                        continue;
+                    }
+                    let frame = Frame { rx: Some(r), ..txn.frame.clone() };
+                    let frame = Frame { rx: None, ..frame }; // keep broadcast flag
+                    let actions = self.call_routing(r, |rt, ctx| rt.on_frame(ctx, frame));
+                    self.apply_actions(r, actions);
+                }
+                self.schedule_mac_tick(u, now);
+                for &r in &receivers {
+                    self.schedule_mac_tick(r, now);
+                    self.try_sleep_soon(r);
+                }
+                self.try_sleep_soon(u);
+            }
+        }
+    }
+
+    fn count_tx(&mut self, u: NodeId, frame: &Frame) {
+        match frame.packet.kind {
+            PacketKind::Rreq { .. } => self.m.rreq_tx += 1,
+            PacketKind::Rrep { .. } => self.m.rrep_tx += 1,
+            PacketKind::Rerr { .. } => self.m.rerr_tx += 1,
+            PacketKind::DsdvUpdate { .. } => self.m.dsdv_update_tx += 1,
+            PacketKind::Data { .. } => {
+                if frame.packet.src != u {
+                    self.nodes[u].forwarded_data = true;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Energy charging (exact segment boundaries, applied at txn end).
+
+    fn ensure_idle(&mut self, i: NodeId, at: SimTime) {
+        if self.nodes[i].meter.state() == RadioState::Sleep {
+            self.nodes[i].meter.set_idle(at);
+        }
+    }
+
+    fn charge_unicast(&mut self, u: NodeId, v: NodeId, txn: &Txn) {
+        let (rts_at, cts_at, data_at, ack_at, end_at) = plan_at(&txn.plan, txn.start);
+        let pmax = self.card.max_tx_total_power_mw();
+        let class = if txn.frame.packet.kind.is_data() {
+            TrafficClass::Data
+        } else {
+            TrafficClass::Control
+        };
+        self.ensure_idle(u, txn.start);
+        self.ensure_idle(v, txn.start);
+        let mu = &mut self.nodes[u].meter;
+        mu.begin_tx(rts_at, pmax, TrafficClass::Control);
+        mu.begin_rx(cts_at, TrafficClass::Control);
+        mu.begin_tx(data_at, txn.data_power_mw, class);
+        mu.begin_rx(ack_at, TrafficClass::Control);
+        mu.set_idle(end_at);
+        let mv = &mut self.nodes[v].meter;
+        mv.begin_rx(rts_at, TrafficClass::Control);
+        mv.begin_tx(cts_at, pmax, TrafficClass::Control);
+        mv.begin_rx(data_at, class);
+        mv.begin_tx(ack_at, pmax, TrafficClass::Control);
+        mv.set_idle(end_at);
+    }
+
+    fn charge_broadcast(&mut self, u: NodeId, receivers: &[NodeId], txn: &Txn) {
+        let start = txn.start + self.mac_timing.difs;
+        let end = txn.start
+            + self
+                .mac_timing
+                .broadcast_duration(txn.frame.packet.wire_bytes());
+        let class = if txn.frame.packet.kind.is_data() {
+            TrafficClass::Data
+        } else {
+            TrafficClass::Control
+        };
+        self.ensure_idle(u, txn.start);
+        let pmax = self.card.max_tx_total_power_mw();
+        let mu = &mut self.nodes[u].meter;
+        mu.begin_tx(start, pmax, class);
+        mu.set_idle(end);
+        for &r in receivers {
+            self.ensure_idle(r, txn.start);
+            let mr = &mut self.nodes[r].meter;
+            mr.begin_rx(start, class);
+            mr.set_idle(end);
+        }
+    }
+
+    fn charge_rts_fail(&mut self, u: NodeId, txn: &Txn) {
+        let rts_start = txn.start + self.mac_timing.difs;
+        let rts_end = rts_start + self.mac_timing.airtime(self.mac_timing.rts_bytes);
+        self.ensure_idle(u, txn.start);
+        let pmax = self.card.max_tx_total_power_mw();
+        let mu = &mut self.nodes[u].meter;
+        mu.begin_tx(rts_start, pmax, TrafficClass::Control);
+        mu.set_idle(rts_end);
+    }
+
+    // ------------------------------------------------------------------
+    // Power management.
+
+    fn pm_hooks(&mut self, u: NodeId, v: NodeId, frame: &Frame) {
+        let PowerPolicy::Odpm { data_keepalive, rrep_keepalive } = self.policy else {
+            return;
+        };
+        match frame.packet.kind {
+            PacketKind::Data { .. } => {
+                self.pm_promote(u, data_keepalive);
+                self.pm_promote(v, data_keepalive);
+            }
+            PacketKind::Rrep { .. } => {
+                self.pm_promote(u, rrep_keepalive);
+                self.pm_promote(v, rrep_keepalive);
+            }
+            _ => {}
+        }
+    }
+
+    fn pm_promote(&mut self, i: NodeId, keepalive: SimDuration) {
+        if !self.alive[i] {
+            return;
+        }
+        let deadline = self.time + keepalive;
+        let was = self.pm[i].mode;
+        self.pm[i].mode = PmMode::ActiveMode;
+        self.pm_modes[i] = PmMode::ActiveMode;
+        if self.pm[i].keepalive.refresh(deadline) {
+            self.queue.schedule(deadline, Event::PmKeepalive(i));
+        }
+        if was == PmMode::PowerSave {
+            self.ensure_idle(i, self.time);
+            let actions = self.call_routing(i, |r, ctx| r.on_pm_changed(ctx, PmMode::ActiveMode));
+            self.apply_actions(i, actions);
+        }
+    }
+
+    fn on_pm_keepalive(&mut self, i: NodeId) {
+        if !self.alive[i] {
+            return;
+        }
+        match self.pm[i].keepalive.on_fire(self.time) {
+            TimerFire::Expired => {
+                self.pm[i].mode = PmMode::PowerSave;
+                self.pm_modes[i] = PmMode::PowerSave;
+                let actions =
+                    self.call_routing(i, |r, ctx| r.on_pm_changed(ctx, PmMode::PowerSave));
+                self.apply_actions(i, actions);
+                self.try_sleep(i);
+            }
+            TimerFire::Rearm(at) => self.queue.schedule(at, Event::PmKeepalive(i)),
+            TimerFire::Void => {}
+        }
+    }
+
+    fn try_sleep_soon(&mut self, i: NodeId) {
+        if self.pm[i].mode == PmMode::PowerSave {
+            self.try_sleep(i);
+        }
+    }
+
+    fn try_sleep(&mut self, i: NodeId) {
+        let now = self.time;
+        if self.pm[i].mode != PmMode::PowerSave
+            || self.nodes[i].mac.busy
+            || self.in_atim(now)
+            || now < self.pm[i].awake_until
+            || self.pm[i].announced_incoming > 0
+            || !self.nodes[i].mac.queue_is_empty()
+        {
+            return;
+        }
+        if self.nodes[i].meter.state() != RadioState::Sleep {
+            self.nodes[i].meter.set_sleep(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // PSM beacons.
+
+    fn on_beacon(&mut self) {
+        let tb = self.time;
+        self.last_beacon = tb;
+        let n = self.nodes.len();
+        if std::env::var_os("EEND_TRACE_BEACONS").is_some()
+            && tb.as_nanos().is_multiple_of(30_000_000_000)
+        {
+            let am = self.pm.iter().filter(|p| p.mode == PmMode::ActiveMode).count();
+            let awake_psm = (0..n)
+                .filter(|&i| {
+                    self.pm[i].mode == PmMode::PowerSave
+                        && self.nodes[i].meter.state() != RadioState::Sleep
+                })
+                .count();
+            let queued: usize = self.nodes.iter().map(|nd| nd.mac.queue_len()).sum();
+            eprintln!(
+                "beacon t={} am={} awake_psm={} queued_frames={}",
+                tb, am, awake_psm, queued
+            );
+        }
+        // Everyone alive in PSM wakes for the ATIM window.
+        for i in 0..n {
+            if self.alive[i] && self.pm[i].mode == PmMode::PowerSave && !self.nodes[i].mac.busy {
+                self.ensure_idle(i, tb);
+            }
+            self.atim_cursor[i] = tb;
+        }
+        // Announcements: scan queues and wake destinations.
+        let atim_air = self.mac_timing.airtime(ATIM_BYTES);
+        let bi = self.psm.beacon_interval;
+        for u in 0..n {
+            if self.nodes[u].mac.queue_is_empty() {
+                continue;
+            }
+            let heads: Vec<(Option<NodeId>, bool)> = self
+                .nodes[u]
+                .mac
+                .queued()
+                .map(|f| (f.rx, f.packet.kind.is_data()))
+                .collect();
+            let mut announced_any = false;
+            for (rx, _is_data) in heads {
+                match rx {
+                    Some(v) if self.alive[v] && self.pm[v].mode == PmMode::PowerSave => {
+                        let start = self.atim_cursor[u].max(self.atim_cursor[v]);
+                        let end = start + atim_air;
+                        // Charge the exchange only when neither party is
+                        // mid-transaction (a busy node's meter is owned by
+                        // the transaction until it completes) and the
+                        // exchange fits before the simulation horizon.
+                        if end <= tb + self.psm.atim_window
+                            && end <= self.end
+                            && !self.nodes[u].mac.busy
+                            && !self.nodes[v].mac.busy
+                        {
+                            self.m.atim_tx += 1;
+                            self.ensure_idle(u, start);
+                            self.ensure_idle(v, start);
+                            self.nodes[u].meter.begin_tx(
+                                start,
+                                self.card.max_tx_total_power_mw(),
+                                TrafficClass::Control,
+                            );
+                            self.nodes[u].meter.set_idle(end);
+                            self.nodes[v].meter.begin_rx(start, TrafficClass::Control);
+                            self.nodes[v].meter.set_idle(end);
+                            self.atim_cursor[u] = end;
+                            self.atim_cursor[v] = end;
+                        }
+                        // Receiver stays up for the data phase.
+                        let until = tb + bi;
+                        if self.pm[v].awake_until < until {
+                            self.pm[v].awake_until = until;
+                        }
+                        if self.psm.span_improved {
+                            self.pm[v].announced_incoming =
+                                self.pm[v].announced_incoming.saturating_add(1);
+                        }
+                        announced_any = true;
+                    }
+                    Some(_) => {}
+                    None => {
+                        // Broadcast: wake the PSM neighbourhood. Baseline
+                        // PSM keeps them up a full interval; Span lets
+                        // them doze after the advertised window.
+                        let neighbors: Vec<NodeId> = self.channel.neighbors(u).to_vec();
+                        for w in neighbors {
+                            if !self.alive[w] || self.pm[w].mode != PmMode::PowerSave {
+                                continue;
+                            }
+                            let until = if self.psm.span_improved {
+                                tb + self.psm.atim_window + self.psm.span_window
+                            } else {
+                                tb + bi
+                            };
+                            if self.pm[w].awake_until < until {
+                                self.pm[w].awake_until = until;
+                            }
+                        }
+                        self.m.atim_tx += 1;
+                        announced_any = true;
+                    }
+                }
+            }
+            // A PSM sender with announced traffic stays awake to send it.
+            if announced_any && self.pm[u].mode == PmMode::PowerSave {
+                let until = tb + bi;
+                if self.pm[u].awake_until < until {
+                    self.pm[u].awake_until = until;
+                }
+            }
+        }
+        self.queue.schedule(tb + self.psm.atim_window, Event::AtimEnd);
+        self.queue.schedule(tb + bi, Event::Beacon);
+    }
+
+    fn on_atim_end(&mut self) {
+        let now = self.time;
+        let n = self.nodes.len();
+        for i in 0..n {
+            if self.pm[i].mode != PmMode::PowerSave {
+                continue;
+            }
+            if now < self.pm[i].awake_until {
+                self.queue.schedule(self.pm[i].awake_until, Event::SleepCheck(i));
+            } else {
+                self.try_sleep(i);
+            }
+        }
+        // Data phase: wake the queues.
+        for i in 0..n {
+            if !self.nodes[i].mac.queue_is_empty() {
+                self.schedule_mac_tick(i, now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{stacks, Scenario};
+    use crate::topology::Placement;
+    use crate::traffic::FlowSpec;
+
+    /// A 3-node line with one flow across it, DSR all-active.
+    fn line_scenario(stack: crate::scenario::ProtocolStack, secs: u64) -> Scenario {
+        Scenario::new(
+            Placement::Explicit(vec![(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)]),
+            eend_radio::cards::cabletron(),
+            stack,
+            FlowSpec {
+                count: 1,
+                rate_bps: 2000.0,
+                packet_bytes: 128,
+                start_window: (1.0, 1.0),
+                pairs: Some(vec![(0, 2)]),
+            },
+            SimDuration::from_secs(secs),
+            42,
+        )
+    }
+
+    #[test]
+    fn dsr_active_delivers_on_line() {
+        let m = Simulator::new(&line_scenario(stacks::dsr_active(), 30)).run();
+        assert!(m.data_sent > 50, "CBR must generate: {}", m.data_sent);
+        assert!(
+            m.delivery_ratio() > 0.95,
+            "line delivery should be near-perfect: {} ({}/{})",
+            m.delivery_ratio(),
+            m.data_delivered,
+            m.data_sent
+        );
+        assert_eq!(m.routes[0].as_deref(), Some(&[0, 1, 2][..]), "route via the relay");
+        assert_eq!(m.data_forwarders, 1, "exactly the middle node forwards");
+        assert!(m.rreq_tx >= 1 && m.rrep_tx >= 1, "discovery happened");
+        assert!(m.energy_total.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_everything() {
+        let s = line_scenario(stacks::dsr_odpm_pc(), 20);
+        let a = Simulator::new(&s).run();
+        let b = Simulator::new(&s).run();
+        assert_eq!(a.data_sent, b.data_sent);
+        assert_eq!(a.data_delivered, b.data_delivered);
+        assert_eq!(a.rreq_tx, b.rreq_tx);
+        assert!((a.energy_total.total_mj() - b.energy_total.total_mj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odpm_sleeps_and_saves_energy_vs_active() {
+        let active = Simulator::new(&line_scenario(stacks::dsr_active(), 60)).run();
+        let odpm = Simulator::new(&line_scenario(stacks::dsr_odpm(), 60)).run();
+        assert!(odpm.delivery_ratio() > 0.9, "ODPM delivery: {}", odpm.delivery_ratio());
+        // All three nodes are on the path, so they stay AM via keepalives —
+        // but before flow start they sleep, and DSR-Active never does.
+        assert!(odpm.energy_total.time_sleep > SimDuration::ZERO);
+        assert_eq!(active.energy_total.time_sleep, SimDuration::ZERO);
+        assert!(
+            odpm.energy_total.total_mj() < active.energy_total.total_mj(),
+            "ODPM must not cost more than always-active"
+        );
+    }
+
+    #[test]
+    fn power_control_cuts_transmit_energy() {
+        let no_pc = Simulator::new(&line_scenario(stacks::dsr_odpm(), 30)).run();
+        let pc = Simulator::new(&line_scenario(stacks::dsr_odpm_pc(), 30)).run();
+        assert!(pc.delivery_ratio() > 0.9);
+        assert!(
+            pc.energy_total.tx_data_mj < no_pc.energy_total.tx_data_mj,
+            "TPC at 200 m hops must beat max-power data frames: {} vs {}",
+            pc.energy_total.tx_data_mj,
+            no_pc.energy_total.tx_data_mj
+        );
+    }
+
+    #[test]
+    fn titan_runs_and_delivers() {
+        let m = Simulator::new(&line_scenario(stacks::titan_pc(), 30)).run();
+        assert!(m.delivery_ratio() > 0.9, "TITAN delivery: {}", m.delivery_ratio());
+    }
+
+    #[test]
+    fn dsdvh_converges_and_delivers() {
+        let m = Simulator::new(&line_scenario(stacks::dsdvh_odpm(), 60)).run();
+        assert!(m.dsdv_update_tx > 0, "updates must flow");
+        assert!(
+            m.delivery_ratio() > 0.8,
+            "DSDVH delivery after convergence: {} ({}/{} sent, {} updates)",
+            m.delivery_ratio(),
+            m.data_delivered,
+            m.data_sent,
+            m.dsdv_update_tx
+        );
+    }
+
+    #[test]
+    fn mtpr_picks_short_hops_on_line() {
+        // MTPR minimises radiated power: two 200 m hops ≪ one 400 m hop
+        // (which is out of range anyway); with a mid relay available the
+        // route must use it.
+        let m = Simulator::new(&line_scenario(stacks::mtpr(false), 30)).run();
+        assert!(m.delivery_ratio() > 0.9);
+        assert_eq!(m.routes[0].as_deref(), Some(&[0, 1, 2][..]));
+    }
+
+    #[test]
+    fn energy_residency_accounts_full_horizon() {
+        let m = Simulator::new(&line_scenario(stacks::dsr_active(), 10)).run();
+        for (i, r) in m.per_node_energy.iter().enumerate() {
+            let residency = r.time_tx + r.time_rx + r.time_idle + r.time_sleep;
+            let total = SimDuration::from_secs(10);
+            assert_eq!(residency, total, "node {i} residency");
+        }
+    }
+
+    #[test]
+    fn unreachable_destination_drops_everything() {
+        let s = Scenario::new(
+            Placement::Explicit(vec![(0.0, 0.0), (1000.0, 0.0)]),
+            eend_radio::cards::cabletron(),
+            stacks::dsr_active(),
+            FlowSpec {
+                count: 1,
+                rate_bps: 2000.0,
+                packet_bytes: 128,
+                start_window: (1.0, 1.0),
+                pairs: Some(vec![(0, 1)]),
+            },
+            SimDuration::from_secs(20),
+            7,
+        );
+        let m = Simulator::new(&s).run();
+        assert_eq!(m.data_delivered, 0);
+        assert!(m.drops_no_route > 0, "discovery must give up");
+        assert_eq!(m.delivery_ratio(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::scenario::{stacks, Scenario};
+    use crate::topology::Placement;
+    use crate::traffic::FlowSpec;
+
+    /// Diamond: 0 can reach 3 via relay 1 (top) or relay 2 (bottom).
+    fn diamond_scenario() -> Scenario {
+        Scenario::new(
+            Placement::Explicit(vec![
+                (0.0, 0.0),     // 0 source
+                (150.0, 100.0), // 1 top relay
+                (150.0, -100.0),// 2 bottom relay
+                (300.0, 0.0),   // 3 sink
+            ]),
+            eend_radio::cards::cabletron(),
+            stacks::dsr_active(),
+            FlowSpec {
+                count: 1,
+                rate_bps: 4000.0,
+                packet_bytes: 128,
+                start_window: (1.0, 1.0),
+                pairs: Some(vec![(0, 3)]),
+            },
+            SimDuration::from_secs(60),
+            5,
+        )
+    }
+
+    #[test]
+    fn route_heals_around_dead_relay() {
+        // Kill whichever relay the stable route uses at t = 30 s; DSR must
+        // re-discover through the other relay and keep delivering.
+        let base = Simulator::new(&diamond_scenario()).run();
+        let relay = base.routes[0].as_ref().expect("route exists")[1];
+        assert!(relay == 1 || relay == 2);
+        let other = 3 - relay; // 1 ↔ 2
+
+        let s = diamond_scenario().with_node_failure(SimTime::from_secs(30), relay);
+        let m = Simulator::new(&s).run();
+        assert!(m.link_failures > 0, "the dead relay must surface as link failures");
+        let healed = m.routes[0].as_ref().expect("route after failure");
+        assert_eq!(healed[1], other, "traffic must re-route via the surviving relay");
+        assert!(
+            m.delivery_ratio() > 0.9,
+            "losses limited to the healing window: {}",
+            m.delivery_ratio()
+        );
+        // The corpse consumes (almost) nothing after death: it sleeps.
+        let dead = &m.per_node_energy[relay];
+        assert!(dead.time_sleep.as_secs_f64() > 25.0, "dead node must be dark");
+    }
+
+    #[test]
+    fn dead_destination_drops_all_traffic_after_failure() {
+        let s = diamond_scenario().with_node_failure(SimTime::from_secs(30), 3);
+        let m = Simulator::new(&s).run();
+        assert!(m.delivery_ratio() < 0.8, "second half must be lost");
+        assert!(m.delivery_ratio() > 0.2, "first half was delivered");
+    }
+}
+
+#[cfg(test)]
+mod mobility_tests {
+    use super::*;
+    use crate::mobility::Mobility;
+    use crate::scenario::{stacks, Scenario};
+    use crate::topology::Placement;
+    use crate::traffic::FlowSpec;
+
+    fn mobile_scenario(speed: f64) -> Scenario {
+        Scenario::new(
+            Placement::UniformRandom { n: 25, width: 400.0, height: 400.0 },
+            eend_radio::cards::cabletron(),
+            stacks::dsr_odpm_pc(),
+            FlowSpec::cbr(3, 4.0),
+            SimDuration::from_secs(60),
+            13,
+        )
+        .with_mobility(Mobility::random_waypoint(speed, speed, 2.0))
+    }
+
+    #[test]
+    fn mobile_network_still_delivers() {
+        // Pedestrian speed in a dense deployment: DSR's repair machinery
+        // (RERR + rediscovery) must keep most packets flowing.
+        let m = Simulator::new(&mobile_scenario(1.5)).run();
+        assert!(m.data_sent > 0);
+        assert!(
+            m.delivery_ratio() > 0.7,
+            "mobile delivery too low: {} ({} link failures)",
+            m.delivery_ratio(),
+            m.link_failures
+        );
+    }
+
+    #[test]
+    fn mobility_is_deterministic() {
+        let a = Simulator::new(&mobile_scenario(2.0)).run();
+        let b = Simulator::new(&mobile_scenario(2.0)).run();
+        assert_eq!(a.data_delivered, b.data_delivered);
+        assert_eq!(a.link_failures, b.link_failures);
+        assert!((a.energy_total.total_mj() - b.energy_total.total_mj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_motion_breaks_more_links() {
+        let slow = Simulator::new(&mobile_scenario(0.5)).run();
+        let fast = Simulator::new(&mobile_scenario(15.0)).run();
+        assert!(
+            fast.link_failures + fast.drops_link_failure
+                >= slow.link_failures + slow.drops_link_failure,
+            "vehicular speeds must stress routing at least as much: slow {} fast {}",
+            slow.link_failures + slow.drops_link_failure,
+            fast.link_failures + fast.drops_link_failure
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based fuzzing of whole simulation runs: random small
+//! scenarios across the protocol matrix must complete without panicking
+//! and produce internally consistent metrics.
+
+use eend_sim::SimDuration;
+use eend_wireless::{stacks, FlowSpec, Placement, ProtocolStack, Scenario, Simulator};
+use proptest::prelude::*;
+
+fn stack_for(idx: u8) -> ProtocolStack {
+    match idx % 8 {
+        0 => stacks::dsr_active(),
+        1 => stacks::dsr_odpm(),
+        2 => stacks::dsr_odpm_pc(),
+        3 => stacks::titan_pc(),
+        4 => stacks::mtpr(false),
+        5 => stacks::dsrh_odpm(true),
+        6 => stacks::dsdvh_odpm(),
+        _ => stacks::dsdvh_odpm_span(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random placements, flows, rates, protocols and failures: the run
+    /// must terminate with sane, conserved metrics.
+    #[test]
+    fn random_scenarios_are_sane(
+        seed in 0u64..10_000,
+        n_nodes in 4usize..16,
+        n_flows in 1usize..4,
+        rate_kbps in 1.0f64..20.0,
+        stack_idx in 0u8..8,
+        fail_node in proptest::option::of(0usize..16),
+        area in 200.0f64..900.0,
+    ) {
+        let mut sc = Scenario::new(
+            Placement::UniformRandom { n: n_nodes, width: area, height: area },
+            eend_radio::cards::cabletron(),
+            stack_for(stack_idx),
+            FlowSpec {
+                count: n_flows,
+                rate_bps: rate_kbps * 1000.0,
+                packet_bytes: 128,
+                start_window: (1.0, 3.0),
+                pairs: None,
+            },
+            SimDuration::from_secs(15),
+            seed,
+        );
+        if let Some(f) = fail_node {
+            sc = sc.with_node_failure(eend_sim::SimTime::from_secs(8), f % n_nodes);
+        }
+        let m = Simulator::new(&sc).run();
+
+        // Delivery accounting.
+        prop_assert!(m.data_delivered <= m.data_sent);
+        let dr = m.delivery_ratio();
+        prop_assert!((0.0..=1.0).contains(&dr));
+        prop_assert!(m.delivered_bits <= m.data_sent as f64 * 128.0 * 8.0 + 1e-6);
+
+        // Energy accounting: residency covers the horizon on every node,
+        // buckets sum to totals, per-node sum equals network total.
+        let horizon = SimDuration::from_secs(15);
+        let mut total = 0.0;
+        for (i, r) in m.per_node_energy.iter().enumerate() {
+            let residency = r.time_tx + r.time_rx + r.time_idle + r.time_sleep;
+            prop_assert_eq!(residency, horizon, "node {} residency", i);
+            prop_assert!(r.total_mj() >= 0.0);
+            total += r.total_mj();
+        }
+        prop_assert!((total - m.energy_total.total_mj()).abs() < 1e-6);
+
+        // Lifetime metrics never panic and are positive.
+        let life = m.lifetime_to_first_death_s(100.0);
+        prop_assert!(life > 0.0);
+        prop_assert!(m.energy_imbalance() >= 1.0 - 1e-9);
+
+        // Routes, when present, start at a flow source and end at its sink.
+        for (i, route) in m.routes.iter().enumerate() {
+            if let Some(r) = route {
+                prop_assert!(r.len() >= 2, "flow {} route too short", i);
+            }
+        }
+    }
+
+    /// Determinism under fuzz: any random scenario replays identically.
+    #[test]
+    fn random_scenarios_replay(
+        seed in 0u64..1_000,
+        n_nodes in 4usize..12,
+        stack_idx in 0u8..8,
+    ) {
+        let sc = Scenario::new(
+            Placement::UniformRandom { n: n_nodes, width: 600.0, height: 600.0 },
+            eend_radio::cards::cabletron(),
+            stack_for(stack_idx),
+            FlowSpec::cbr(2, 4.0),
+            SimDuration::from_secs(10),
+            seed,
+        );
+        let a = Simulator::new(&sc).run();
+        let b = Simulator::new(&sc).run();
+        prop_assert_eq!(a.data_delivered, b.data_delivered);
+        prop_assert_eq!(a.rreq_tx, b.rreq_tx);
+        prop_assert_eq!(a.dsdv_update_tx, b.dsdv_update_tx);
+        prop_assert!((a.energy_total.total_mj() - b.energy_total.total_mj()).abs() < 1e-9);
+    }
+}

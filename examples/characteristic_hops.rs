@@ -1,0 +1,55 @@
+//! The Section 5.1 analytical study, interactive edition: for every
+//! Table 1 card, is relaying between two in-range nodes ever worth it?
+//!
+//! Reproduces the reasoning behind Fig 7: prints `m_opt` across bandwidth
+//! utilisations, the characteristic hop count, and the regulatory check
+//! that rules out the Hypothetical Cabletron in practice.
+//!
+//! ```text
+//! cargo run --release --example characteristic_hops
+//! ```
+
+use eend::core::analysis;
+use eend::radio::cards;
+use eend::stats::Table;
+
+fn main() {
+    println!("Characteristic hop count m_opt (Eq 15) at the card's nominal range\n");
+    let utils = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut header: Vec<String> = vec!["card".into(), "D (m)".into()];
+    header.extend(utils.iter().map(|q| format!("R/B={q}")));
+    header.push("relays pay off?".into());
+    let mut table = Table::new(header);
+
+    for card in cards::all() {
+        let mut row = vec![card.name.to_string(), format!("{}", card.nominal_range_m)];
+        for &q in &utils {
+            row.push(format!("{:.2}", analysis::optimal_hop_count(&card, card.nominal_range_m, q)));
+        }
+        let beneficial = utils
+            .iter()
+            .any(|&q| analysis::relaying_beneficial(&card, card.nominal_range_m, q));
+        row.push(if beneficial { "yes".into() } else { "no".into() });
+        table.row(row);
+    }
+    println!("{table}");
+
+    let h = cards::hypothetical_cabletron();
+    println!(
+        "The Hypothetical Cabletron reaches m_opt = {:.2} at R/B = 0.25, so relays\n\
+         could pay off — but its maximum radiated power is {:.1} W, violating the\n\
+         FCC 1 W cap (and ETSI's 100 mW): {}.",
+        analysis::optimal_hop_count(&h, 250.0, 0.25),
+        h.max_radiated_power_mw() / 1000.0,
+        if analysis::exceeds_cap(&h, analysis::FCC_MAX_RADIATED_MW) {
+            "rejected"
+        } else {
+            "accepted"
+        }
+    );
+    println!(
+        "\nConclusion (the paper's): for every real card the characteristic hop\n\
+         count stays below 2 at all utilisations — power-control-first routing\n\
+         (PARO/MTPR-style relaying) cannot save energy on real hardware."
+    );
+}

@@ -1,0 +1,154 @@
+//! `eend-cli` — run one simulation scenario from the command line.
+//!
+//! ```text
+//! eend-cli [--stack TITAN-PC] [--nodes 50] [--area 500] [--flows 10]
+//!          [--rate 4.0] [--secs 120] [--seed 1] [--card cabletron]
+//!          [--speed 0.0] [--csv] [--list-stacks]
+//! ```
+//!
+//! Defaults reproduce a shortened paper §5.2.1 small-network run.
+//! `--csv` emits a single machine-readable line (header on stderr).
+
+use eend::radio::cards;
+use eend::sim::SimDuration;
+use eend::wireless::{stacks, FlowSpec, Mobility, Placement, Scenario, Simulator};
+
+struct Opts {
+    stack: String,
+    nodes: usize,
+    area: f64,
+    flows: usize,
+    rate_kbps: f64,
+    secs: u64,
+    seed: u64,
+    card: String,
+    speed: f64,
+    csv: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eend-cli [--stack NAME] [--nodes N] [--area METRES] [--flows N]\n\
+         \u{20}               [--rate KBPS] [--secs S] [--seed N] [--card NAME]\n\
+         \u{20}               [--speed MPS] [--csv] [--list-stacks]\n\
+         cards: aironet350 | cabletron | hypothetical | mica2 | leach2 | leach4"
+    );
+    std::process::exit(2)
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        stack: "TITAN-PC".into(),
+        nodes: 50,
+        area: 500.0,
+        flows: 10,
+        rate_kbps: 4.0,
+        secs: 120,
+        seed: 1,
+        card: "cabletron".into(),
+        speed: 0.0,
+        csv: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| args.next().unwrap_or_else(|| {
+            eprintln!("error: {what} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--stack" => o.stack = val("--stack"),
+            "--nodes" => o.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--area" => o.area = val("--area").parse().unwrap_or_else(|_| usage()),
+            "--flows" => o.flows = val("--flows").parse().unwrap_or_else(|_| usage()),
+            "--rate" => o.rate_kbps = val("--rate").parse().unwrap_or_else(|_| usage()),
+            "--secs" => o.secs = val("--secs").parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--card" => o.card = val("--card"),
+            "--speed" => o.speed = val("--speed").parse().unwrap_or_else(|_| usage()),
+            "--csv" => o.csv = true,
+            "--list-stacks" => {
+                for s in stacks::all() {
+                    println!("{}", s.name);
+                }
+                std::process::exit(0)
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    o
+}
+
+fn main() {
+    let o = parse();
+    let Some(stack) = stacks::by_name(&o.stack) else {
+        eprintln!("error: unknown stack {:?} (try --list-stacks)", o.stack);
+        std::process::exit(2)
+    };
+    let card = match o.card.to_ascii_lowercase().as_str() {
+        "aironet350" | "aironet" => cards::aironet_350(),
+        "cabletron" => cards::cabletron(),
+        "hypothetical" => cards::hypothetical_cabletron(),
+        "mica2" => cards::mica2(),
+        "leach2" => cards::leach_n2(1.0),
+        "leach4" => cards::leach_n4(1.0),
+        other => {
+            eprintln!("error: unknown card {other:?}");
+            usage()
+        }
+    };
+    let name = stack.name.clone();
+    let mut scenario = Scenario::new(
+        Placement::UniformRandom { n: o.nodes, width: o.area, height: o.area },
+        card,
+        stack,
+        FlowSpec::cbr(o.flows, o.rate_kbps),
+        SimDuration::from_secs(o.secs),
+        o.seed,
+    );
+    if o.speed > 0.0 {
+        scenario =
+            scenario.with_mobility(Mobility::random_waypoint((o.speed / 2.0).max(0.1), o.speed, 5.0));
+    }
+    let m = Simulator::new(&scenario).run();
+
+    if o.csv {
+        eprintln!(
+            "stack,nodes,area_m,flows,rate_kbps,secs,seed,delivery,goodput_bit_per_j,\
+             enetwork_j,transmit_j,control_j,relays,rreq,dsdv_updates,lifetime_1kj_s"
+        );
+        println!(
+            "{},{},{},{},{},{},{},{:.4},{:.1},{:.1},{:.1},{:.1},{},{},{},{:.0}",
+            name,
+            o.nodes,
+            o.area,
+            o.flows,
+            o.rate_kbps,
+            o.secs,
+            o.seed,
+            m.delivery_ratio(),
+            m.energy_goodput_bit_per_j(),
+            m.enetwork_j(),
+            m.transmit_energy_j(),
+            m.control_energy_j(),
+            m.data_forwarders,
+            m.rreq_tx,
+            m.dsdv_update_tx,
+            m.lifetime_to_first_death_s(1000.0),
+        );
+    } else {
+        println!("{name} — {} nodes, {}x{} m², {} flows @ {} Kbit/s, {} s (seed {})",
+            o.nodes, o.area, o.area, o.flows, o.rate_kbps, o.secs, o.seed);
+        println!("  delivery ratio      {:.4} ({}/{} packets)", m.delivery_ratio(), m.data_delivered, m.data_sent);
+        println!("  energy goodput      {:.1} bit/J", m.energy_goodput_bit_per_j());
+        println!("  Enetwork            {:.1} J (tx {:.1} J, control {:.1} J)", m.enetwork_j(), m.transmit_energy_j(), m.control_energy_j());
+        println!("  relays              {}", m.data_forwarders);
+        println!("  control frames      {} RREQ, {} RREP, {} RERR, {} DSDV, {} ATIM", m.rreq_tx, m.rrep_tx, m.rerr_tx, m.dsdv_update_tx, m.atim_tx);
+        println!("  collisions          {} broadcast, {} RTS; {} link failures", m.broadcast_collisions, m.rts_collisions, m.link_failures);
+        println!("  drops               {} no-route, {} link, {} buffer, {} ifq", m.drops_no_route, m.drops_link_failure, m.drops_buffer, m.drops_ifq);
+        println!("  lifetime (1 kJ)     {:.0} s to first death, imbalance {:.2}", m.lifetime_to_first_death_s(1000.0), m.energy_imbalance());
+    }
+}
