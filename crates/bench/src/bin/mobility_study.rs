@@ -15,7 +15,7 @@ use eend_wireless::{presets, stacks, Mobility, Simulator};
 fn main() {
     let opts = HarnessOpts::from_args(2, 5, 180);
     let speeds: [f64; 5] = [0.0, 1.0, 3.0, 6.0, 10.0]; // m/s; 0 = static (the paper)
-    let protocols = vec![stacks::titan_pc(), stacks::dsr_odpm_pc(), stacks::dsr_active()];
+    let protocols = [stacks::titan_pc(), stacks::dsr_odpm_pc(), stacks::dsr_active()];
 
     let mut delivery: Vec<Series> = protocols.iter().map(|s| Series::new(&s.name)).collect();
     let mut goodput: Vec<Series> = protocols.iter().map(|s| Series::new(&s.name)).collect();

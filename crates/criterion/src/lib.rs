@@ -1,0 +1,168 @@
+//! Minimal, dependency-free shim of the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness API.
+//!
+//! The build environment for this repository is offline, so the real
+//! crates.io `criterion` cannot be fetched. This shim implements exactly the
+//! surface used by `crates/bench/benches/{engine,experiments}.rs` —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`] — with a simple
+//! warmup + timed-iterations measurement loop that reports mean wall time
+//! per iteration. Swap the `path` dependency in `crates/bench/Cargo.toml`
+//! for a crates.io version to get the full statistical harness; no bench
+//! source changes are required.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work. Delegates to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark timing loop handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher { samples, total: Duration::ZERO, iters: 0 }
+    }
+
+    /// Calls `f` repeatedly (one warmup round, then `sample_size` timed
+    /// rounds) and accumulates the elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup / lazy-init round, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters as u32
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group (IDs are prefixed `group/name`).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: None }
+    }
+}
+
+/// Group of related benchmarks sharing an ID prefix and sample size,
+/// mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.as_ref()), &b);
+        self
+    }
+
+    /// Closes the group. A no-op in the shim; kept for API parity.
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mean = b.mean();
+    println!("{name:<45} {:>12.3} µs/iter  ({} iters)", mean.as_secs_f64() * 1e6, b.iters);
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warmup + 20 timed samples.
+        assert_eq!(runs, 21);
+    }
+
+    #[test]
+    fn group_sample_size_respected() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("smoke", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 6);
+    }
+}

@@ -6,7 +6,7 @@ use eend_radio::EnergyReport;
 /// Everything one simulation run measures: the paper's two headline
 /// metrics (delivery ratio, energy goodput) plus the breakdowns behind
 /// Fig 10 (transmit energy) and the control-overhead discussion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Data packets handed to routing at their sources.
     pub data_sent: u64,
