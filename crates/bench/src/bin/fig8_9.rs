@@ -2,14 +2,19 @@
 //! small networks (50 nodes, 500×500 m², 10 CBR flows, Cabletron,
 //! 2–6 Kbit/s, 900 s, 5 runs ± 95 % CI).
 //!
+//! Runs as one declarative campaign (stacks × rates × seeds) on the
+//! bounded executor; both figures are extracted from the same records,
+//! so every scenario is simulated exactly once.
+//!
 //! ```text
 //! cargo run --release -p eend-bench --bin fig8_9 -- --quick   # default
 //! cargo run --release -p eend-bench --bin fig8_9 -- --full    # paper scale
 //! ```
 
-use eend_bench::{sweep_figure, HarnessOpts};
+use eend_bench::{figure_spec, HarnessOpts};
+use eend_campaign::Executor;
 use eend_stats::render_figure;
-use eend_wireless::{presets, stacks};
+use eend_wireless::stacks;
 
 fn main() {
     let opts = HarnessOpts::from_args(2, 5, 180);
@@ -25,14 +30,12 @@ fn main() {
     ];
     let rates = [2.0, 3.0, 4.0, 5.0, 6.0];
 
-    let delivery = sweep_figure(&opts, &stacks, &rates, |s, r, seed| {
-        presets::small_network(s, r, seed)
-    }, |m| m.delivery_ratio());
+    let result = Executor::bounded().run(&figure_spec("fig8_9", &opts, &stacks, &rates));
+
+    let delivery = result.series(|p| p.rate_kbps, |m| m.delivery_ratio());
     println!("{}", render_figure("Fig 8 — delivery ratio, 500x500 m2 (x = rate Kbit/s)", &delivery));
 
-    let goodput = sweep_figure(&opts, &stacks, &rates, |s, r, seed| {
-        presets::small_network(s, r, seed)
-    }, |m| m.energy_goodput_bit_per_j());
+    let goodput = result.series(|p| p.rate_kbps, |m| m.energy_goodput_bit_per_j());
     println!("{}", render_figure("Fig 9 — energy goodput (bit/J), 500x500 m2", &goodput));
 
     println!(

@@ -2,45 +2,39 @@
 //!
 //! The paper evaluates static networks; its protocols are nonetheless ad
 //! hoc routing protocols. This study sweeps node speed and watches the
-//! idling-first stacks' delivery and energy goodput as links churn.
+//! idling-first stacks' delivery and energy goodput as links churn — a
+//! declarative campaign over the speed axis (stacks × speeds × seeds on
+//! the bounded executor, 4 Kbit/s small networks).
 //!
 //! ```text
 //! cargo run --release -p eend-bench --bin mobility_study [-- --full]
 //! ```
 
 use eend_bench::HarnessOpts;
-use eend_stats::{render_figure, Series};
-use eend_wireless::{presets, stacks, Mobility, Simulator};
+use eend_campaign::{BaseScenario, CampaignSpec, Executor};
+use eend_stats::render_figure;
+use eend_wireless::stacks;
 
 fn main() {
     let opts = HarnessOpts::from_args(2, 5, 180);
-    let speeds: [f64; 5] = [0.0, 1.0, 3.0, 6.0, 10.0]; // m/s; 0 = static (the paper)
-    let protocols = [stacks::titan_pc(), stacks::dsr_odpm_pc(), stacks::dsr_active()];
+    let speeds = vec![0.0, 1.0, 3.0, 6.0, 10.0]; // m/s; 0 = static (the paper)
 
-    let mut delivery: Vec<Series> = protocols.iter().map(|s| Series::new(&s.name)).collect();
-    let mut goodput: Vec<Series> = protocols.iter().map(|s| Series::new(&s.name)).collect();
-    for &speed in &speeds {
-        for (i, stack) in protocols.iter().enumerate() {
-            let (mut dr, mut gp) = (Vec::new(), Vec::new());
-            for seed in 1..=opts.seeds {
-                let mut sc = opts.tune(presets::small_network(stack.clone(), 4.0, seed));
-                if speed > 0.0 {
-                    sc = sc.with_mobility(Mobility::random_waypoint(
-                        (speed / 2.0).max(0.1),
-                        speed,
-                        5.0,
-                    ));
-                }
-                let m = Simulator::new(&sc).run();
-                dr.push(m.delivery_ratio());
-                gp.push(m.energy_goodput_bit_per_j());
-            }
-            delivery[i].push(speed, &dr);
-            goodput[i].push(speed, &gp);
-        }
+    let mut spec = CampaignSpec::new("mobility_study", BaseScenario::Small)
+        .stacks(vec![stacks::titan_pc(), stacks::dsr_odpm_pc(), stacks::dsr_active()])
+        .rates(vec![4.0])
+        .speeds(speeds)
+        .seeds(opts.seeds);
+    if let Some(secs) = opts.secs_override {
+        spec = spec.secs(secs);
     }
+    let result = Executor::bounded().run(&spec);
+
+    let delivery = result.series(|p| p.speed_mps, |m| m.delivery_ratio());
     println!("{}", render_figure("Extension — delivery ratio vs node speed (m/s)", &delivery));
+
+    let goodput = result.series(|p| p.speed_mps, |m| m.energy_goodput_bit_per_j());
     println!("{}", render_figure("Extension — energy goodput (bit/J) vs node speed", &goodput));
+
     println!(
         "Motion breaks links: reactive repair (RERR + rediscovery) keeps\n\
          delivery graceful at pedestrian speeds; energy goodput erodes with\n\

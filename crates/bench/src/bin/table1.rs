@@ -1,22 +1,33 @@
 //! Regenerates **Table 1**: radio parameters for the studied cards.
 //!
+//! There is no scenario sweep here (the table is static card data), but
+//! the rows are produced through the campaign executor's `par_map` — a
+//! degenerate one-job-per-card campaign — so every table/figure binary
+//! exercises the same bounded-parallelism path.
+//!
 //! ```text
 //! cargo run --release -p eend-bench --bin table1
 //! ```
 
+use eend_campaign::Executor;
 use eend_radio::cards;
 use eend_stats::Table;
 
 fn main() {
-    let mut t = Table::new(vec!["Card", "Pidle (mW)", "Prx (mW)", "Ptx(d) (mW, d in m)", "D (m)"]);
-    for c in cards::all() {
-        t.row(vec![
+    let cards = cards::all();
+    let rows = Executor::bounded().par_map(cards.len(), |i| {
+        let c = &cards[i];
+        vec![
             c.name.to_string(),
             format!("{}", c.p_idle_mw),
             format!("{}", c.p_rx_mw),
             format!("{} + {:.1e}·d^{}", c.p_base_mw, c.alpha2, c.path_loss_n),
             format!("{}", c.nominal_range_m),
-        ]);
+        ]
+    });
+    let mut t = Table::new(vec!["Card", "Pidle (mW)", "Prx (mW)", "Ptx(d) (mW, d in m)", "D (m)"]);
+    for row in rows {
+        t.row(row);
     }
     println!("Table 1: radio parameters for the studied wireless cards\n");
     println!("{t}");

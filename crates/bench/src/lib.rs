@@ -11,8 +11,9 @@
 
 #![warn(missing_docs)]
 
+use eend_campaign::{CampaignSpec, Executor, GridPoint};
 use eend_stats::Series;
-use eend_wireless::{ProtocolStack, RunMetrics, Scenario, Simulator};
+use eend_wireless::{ProtocolStack, RunMetrics, Scenario};
 
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,30 +82,47 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2)
 }
 
-/// Runs `make_scenario(stack, rate, seed)` for every seed — in parallel,
-/// one OS thread per seed (runs are independent and deterministic, so
-/// parallelism cannot change results) — and returns the per-run metrics
-/// in seed order.
+/// Builds the campaign grid a figure sweep runs on: `stacks` × `rates` ×
+/// `opts.seeds` over the paper's small-network preset
+/// ([`eend_campaign::BaseScenario::Small`] — switch the `base` field for
+/// other presets), with `opts.secs_override` applied as the spec's
+/// duration. Figure binaries run the returned spec directly (as
+/// `fig8_9` does) or pass custom scenarios via
+/// [`eend_campaign::CampaignSpec::expand_with`].
+pub fn figure_spec(name: &str, opts: &HarnessOpts, stacks: &[ProtocolStack], rates: &[f64]) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(name, eend_campaign::BaseScenario::Small)
+        .stacks(stacks.to_vec())
+        .rates(rates.to_vec())
+        .seeds(opts.seeds);
+    if let Some(secs) = opts.secs_override {
+        spec = spec.secs(secs);
+    }
+    spec
+}
+
+/// Runs `make_scenario(stack, rate, seed)` for every seed on the bounded
+/// campaign executor (runs are independent and deterministic, so
+/// parallelism cannot change results) and returns the per-run metrics in
+/// seed order. Thin wrapper over [`eend_campaign::Executor`]; the worker
+/// pool is capped at the machine's available parallelism no matter how
+/// many seeds are requested.
 pub fn runs(
     opts: &HarnessOpts,
     stack: &ProtocolStack,
     rate_kbps: f64,
     make_scenario: impl Fn(ProtocolStack, f64, u64) -> Scenario + Sync,
 ) -> Vec<RunMetrics> {
-    let scenarios: Vec<Scenario> = (0..opts.seeds)
-        .map(|seed| opts.tune(make_scenario(stack.clone(), rate_kbps, seed + 1)))
-        .collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .iter()
-            .map(|sc| scope.spawn(move || Simulator::new(sc).run()))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
-    })
+    let spec = figure_spec("runs", opts, std::slice::from_ref(stack), &[rate_kbps]);
+    // No opts.tune here: the spec's secs override already rewrites every
+    // scenario's duration after the builder runs.
+    let jobs =
+        spec.expand_with(|p: &GridPoint| make_scenario(p.stack.clone(), p.rate_kbps, p.seed));
+    Executor::bounded().run_jobs(&jobs).into_iter().map(|r| r.metrics).collect()
 }
 
-/// Sweeps `rates` for each stack, extracting `metric` per run, and
-/// returns one [`Series`] per stack — exactly one figure's line set.
+/// Sweeps `rates` for each stack on the campaign engine, extracting
+/// `metric` per run, and returns one [`Series`] per stack — exactly one
+/// figure's line set, in `stacks` order.
 pub fn sweep_figure(
     opts: &HarnessOpts,
     stacks: &[ProtocolStack],
@@ -112,18 +130,14 @@ pub fn sweep_figure(
     make_scenario: impl Fn(ProtocolStack, f64, u64) -> Scenario + Copy + Sync,
     metric: impl Fn(&RunMetrics) -> f64,
 ) -> Vec<Series> {
-    stacks
-        .iter()
-        .map(|stack| {
-            let mut series = Series::new(&stack.name);
-            for &rate in rates {
-                let samples: Vec<f64> =
-                    runs(opts, stack, rate, make_scenario).iter().map(&metric).collect();
-                series.push(rate, &samples);
-            }
-            series
-        })
-        .collect()
+    let spec = figure_spec("sweep", opts, stacks, rates);
+    let jobs =
+        spec.expand_with(|p: &GridPoint| make_scenario(p.stack.clone(), p.rate_kbps, p.seed));
+    let result = eend_campaign::CampaignResult {
+        campaign: spec.name.clone(),
+        records: Executor::bounded().run_jobs(&jobs),
+    };
+    result.series(|p| p.rate_kbps, metric)
 }
 
 #[cfg(test)]

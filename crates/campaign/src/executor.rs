@@ -1,0 +1,145 @@
+//! Bounded parallel executor.
+//!
+//! A fixed pool of scoped worker threads — capped at
+//! `std::thread::available_parallelism` — pulls job indices from a shared
+//! atomic counter (self-scheduling, so an unlucky long job never stalls
+//! the queue behind it). Every job is an independent, deterministic
+//! simulation, and results are reassembled in job-index order, so the
+//! output is byte-identical for any worker count — the property the
+//! parallel-equals-serial regression test pins.
+
+use crate::report::{CampaignResult, Record};
+use crate::spec::Job;
+use eend_wireless::Simulator;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded worker pool for campaign jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// A pool bounded at the machine's available parallelism (never less
+    /// than one worker).
+    pub fn bounded() -> Executor {
+        Executor {
+            workers: std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+        }
+    }
+
+    /// A pool with exactly `workers` workers (clamped to at least 1).
+    /// `with_workers(1)` is the serial reference execution.
+    pub fn with_workers(workers: usize) -> Executor {
+        Executor { workers: workers.max(1) }
+    }
+
+    /// The worker bound this executor runs with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(0..n)` across the pool and returns the results in index
+    /// order. The pool never holds more than `min(workers, n)` OS
+    /// threads, however large `n` is.
+    pub fn par_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        if workers == 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break local;
+                            }
+                            local.push((i, f(i)));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
+        tagged.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Simulates every job and returns one [`Record`] per job, in job
+    /// order.
+    pub fn run_jobs(&self, jobs: &[Job]) -> Vec<Record> {
+        self.par_map(jobs.len(), |i| {
+            let job = &jobs[i];
+            Record { point: job.point.clone(), metrics: Simulator::new(&job.scenario).run() }
+        })
+    }
+
+    /// Expands and runs a whole campaign: [`crate::CampaignSpec::expand`]
+    /// followed by [`Executor::run_jobs`], wrapped into a
+    /// [`CampaignResult`].
+    pub fn run(&self, spec: &crate::CampaignSpec) -> CampaignResult {
+        let jobs = spec.expand();
+        CampaignResult { campaign: spec.name.clone(), records: self.run_jobs(&jobs) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for workers in [1, 2, 3, 8, 64] {
+            let out = Executor::with_workers(workers).par_map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_oversized_pools() {
+        let ex = Executor::with_workers(16);
+        assert!(ex.par_map(0, |i| i).is_empty());
+        // More workers than jobs: every job still runs exactly once.
+        assert_eq!(ex.par_map(3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        // Track the peak number of concurrently-live closures: it must
+        // never exceed the configured bound even with many more jobs.
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let bound = 3;
+        Executor::with_workers(bound).par_map(64, |i| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert!(peak.load(Ordering::SeqCst) <= bound, "peak {} > bound {bound}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(Executor::with_workers(0).workers(), 1);
+        assert!(Executor::bounded().workers() >= 1);
+    }
+}

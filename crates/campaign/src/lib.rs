@@ -1,0 +1,48 @@
+//! Declarative scenario-matrix campaigns on a bounded parallel executor.
+//!
+//! The paper's Section 5 evaluation is a grid of sweeps — protocol
+//! stacks × traffic rates × network sizes × seeds. This crate makes that
+//! grid a first-class object:
+//!
+//! 1. [`CampaignSpec`] declares the axes (stacks, rates, node counts,
+//!    mobility speeds, node-failure plans, seeds) and expands their
+//!    cartesian product into a flat, deterministically-ordered job list;
+//! 2. [`Executor`] runs the jobs on a worker pool bounded at
+//!    `available_parallelism` (or any explicit worker count) — every run
+//!    is an independent deterministic simulation, and results are
+//!    reassembled in job order, so parallel and serial execution produce
+//!    byte-identical [`Record`]s;
+//! 3. [`CampaignResult`] aggregates cells into
+//!    [`eend_stats::Series`] (mean/stddev/95 % CI) and exports
+//!    structured CSV/JSON.
+//!
+//! The `eend-bench` figure binaries and the `eend-cli campaign`
+//! subcommand are thin layers over this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use eend_campaign::{BaseScenario, CampaignSpec, Executor};
+//! use eend_wireless::stacks;
+//!
+//! let spec = CampaignSpec::new("doc", BaseScenario::Small)
+//!     .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+//!     .rates(vec![4.0])
+//!     .seeds(2)
+//!     .secs(20);
+//! let result = Executor::bounded().run(&spec);
+//! assert_eq!(result.records.len(), 4);
+//! let series = result.series(|p| p.rate_kbps, |m| m.delivery_ratio());
+//! assert_eq!(series.len(), 2);
+//! assert_eq!(series[0].points[0].summary.n, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod report;
+pub mod spec;
+
+pub use executor::Executor;
+pub use report::{metric_columns, CampaignResult, MetricColumn, Record};
+pub use spec::{BaseScenario, CampaignSpec, FailurePlan, GridPoint, Job};

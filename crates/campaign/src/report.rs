@@ -1,0 +1,250 @@
+//! Campaign results: per-run records, per-cell aggregation, and
+//! structured CSV/JSON writers.
+
+use crate::spec::GridPoint;
+use eend_stats::{grouped::SampleRow, Series};
+use eend_wireless::RunMetrics;
+
+/// One finished job: where it sat in the grid and what it measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Grid coordinates of the run.
+    pub point: GridPoint,
+    /// Full simulator output for the run.
+    pub metrics: RunMetrics,
+}
+
+/// A named metric column: CSV/JSON field name plus its extractor.
+pub type MetricColumn = (&'static str, fn(&RunMetrics) -> f64);
+
+/// The named metrics a campaign exports to CSV/JSON, with extractors.
+/// One row of output carries each of these per record.
+pub fn metric_columns() -> Vec<MetricColumn> {
+    vec![
+        ("delivery_ratio", |m| m.delivery_ratio()),
+        ("energy_goodput_bit_per_j", |m| m.energy_goodput_bit_per_j()),
+        ("enetwork_j", |m| m.enetwork_j()),
+        ("transmit_j", |m| m.transmit_energy_j()),
+        ("control_j", |m| m.control_energy_j()),
+        ("relays", |m| m.data_forwarders as f64),
+        ("data_sent", |m| m.data_sent as f64),
+        ("data_delivered", |m| m.data_delivered as f64),
+        ("rreq_tx", |m| m.rreq_tx as f64),
+        ("dsdv_update_tx", |m| m.dsdv_update_tx as f64),
+        ("link_failures", |m| m.link_failures as f64),
+        ("lifetime_1kj_s", |m| m.lifetime_to_first_death_s(1000.0)),
+    ]
+}
+
+/// Everything a campaign produced, in job order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// The spec's name.
+    pub campaign: String,
+    /// One record per job, in expansion order.
+    pub records: Vec<Record>,
+}
+
+impl CampaignResult {
+    /// Aggregates `metric` into one [`Series`] per stack, with the
+    /// x-position of each point drawn by `x` from the grid coordinates
+    /// (e.g. `|p| p.rate_kbps` for a rate sweep, `|p| p.nodes as f64`
+    /// for the density study). Cells collapse to mean/stddev/95 % CI via
+    /// [`eend_stats::grouped::aggregate_series`]; series come back in
+    /// first-appearance (spec) stack order.
+    pub fn series(
+        &self,
+        x: impl Fn(&GridPoint) -> f64,
+        metric: impl Fn(&RunMetrics) -> f64,
+    ) -> Vec<Series> {
+        let rows: Vec<SampleRow> = self
+            .records
+            .iter()
+            .map(|r| SampleRow {
+                label: r.point.stack.name.clone(),
+                x: x(&r.point),
+                value: metric(&r.metrics),
+            })
+            .collect();
+        let mut series = eend_stats::grouped::aggregate_series(&rows);
+        // aggregate_series sorts labels for permutation independence;
+        // restore the order the campaign listed its stacks in.
+        let mut order: Vec<&str> = Vec::new();
+        for r in &self.records {
+            if !order.contains(&r.point.stack.name.as_str()) {
+                order.push(&r.point.stack.name);
+            }
+        }
+        series.sort_by_key(|s| order.iter().position(|n| *n == s.label).unwrap_or(usize::MAX));
+        series
+    }
+
+    /// Renders every record as CSV: one header line, then one row per
+    /// run (grid coordinates first, then every [`metric_columns`]
+    /// metric).
+    pub fn to_csv(&self) -> String {
+        let cols = metric_columns();
+        let mut out = String::from("campaign,stack,rate_kbps,nodes,speed_mps,failure,seed");
+        for (name, _) in &cols {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for r in &self.records {
+            let p = &r.point;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}",
+                csv_field(&self.campaign),
+                csv_field(&p.stack.name),
+                p.rate_kbps,
+                p.nodes,
+                p.speed_mps,
+                csv_field(&p.failure),
+                p.seed
+            ));
+            for (_, f) in &cols {
+                out.push_str(&format!(",{}", f(&r.metrics)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every record as a JSON array of flat objects (the same
+    /// fields as [`CampaignResult::to_csv`], machine-readable without a
+    /// serde dependency).
+    pub fn to_json(&self) -> String {
+        let cols = metric_columns();
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let p = &r.point;
+            out.push_str("  {");
+            out.push_str(&format!(
+                "\"campaign\":{},\"stack\":{},\"rate_kbps\":{},\"nodes\":{},\
+                 \"speed_mps\":{},\"failure\":{},\"seed\":{}",
+                json_str(&self.campaign),
+                json_str(&p.stack.name),
+                json_num(p.rate_kbps),
+                p.nodes,
+                json_num(p.speed_mps),
+                json_str(&p.failure),
+                p.seed
+            ));
+            for (name, f) in &cols {
+                out.push_str(&format!(",\"{}\":{}", name, json_num(f(&r.metrics))));
+            }
+            out.push_str(if i + 1 == self.records.len() { "}\n" } else { "},\n" });
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an f64 as JSON (JSON has no Infinity/NaN; map them to null).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseScenario, CampaignSpec, Executor};
+    use eend_wireless::stacks;
+
+    fn tiny_result() -> CampaignResult {
+        let spec = CampaignSpec::new("unit", BaseScenario::Small)
+            .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+            .rates(vec![2.0, 4.0])
+            .seeds(2)
+            .secs(20);
+        Executor::with_workers(2).run(&spec)
+    }
+
+    #[test]
+    fn series_groups_cells_in_spec_stack_order() {
+        let res = tiny_result();
+        let series = res.series(|p| p.rate_kbps, |m| m.delivery_ratio());
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].label, "TITAN-PC", "spec order, not alphabetical");
+        assert_eq!(series[1].label, "DSR-Active");
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            assert_eq!(s.points[0].x, 2.0);
+            assert_eq!(s.points[1].x, 4.0);
+            for p in &s.points {
+                assert_eq!(p.summary.n, 2, "two seeds per cell");
+                assert!((0.0..=1.0).contains(&p.summary.mean));
+            }
+        }
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_record() {
+        let res = tiny_result();
+        let csv = res.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + res.records.len());
+        assert!(lines[0].starts_with("campaign,stack,rate_kbps,nodes,speed_mps,failure,seed"));
+        assert!(lines[0].contains("delivery_ratio"));
+        assert!(lines[1].starts_with("unit,TITAN-PC,2,50,0,none,1"));
+        let cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), cols);
+        }
+    }
+
+    #[test]
+    fn json_is_an_array_with_expected_fields() {
+        let res = tiny_result();
+        let json = res.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"stack\":").count(), res.records.len());
+        assert!(json.contains("\"stack\":\"TITAN-PC\""));
+        assert!(json.contains("\"delivery_ratio\":"));
+        // Balanced object braces: one open and one close per record.
+        assert_eq!(json.matches('{').count(), res.records.len());
+        assert_eq!(json.matches('}').count(), res.records.len());
+    }
+
+    #[test]
+    fn csv_quoting_and_json_escaping() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(1.5), "1.5");
+    }
+}

@@ -1,0 +1,69 @@
+//! Parallel-equals-serial: the executor's core contract. The same
+//! [`CampaignSpec`] executed with 1 worker and with N workers must
+//! produce identical result records in identical order — field-wise
+//! equal *and* rendering byte-identically, for every export format.
+
+use eend_campaign::{BaseScenario, CampaignSpec, Executor, FailurePlan};
+use eend_wireless::stacks;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("determinism", BaseScenario::Small)
+        .stacks(vec![stacks::titan_pc(), stacks::dsdvh_odpm()])
+        .rates(vec![2.0, 4.0])
+        .speeds(vec![0.0, 3.0])
+        .seeds(2)
+        .secs(30)
+}
+
+#[test]
+fn parallel_equals_serial_across_worker_counts() {
+    let spec = spec();
+    let serial = Executor::with_workers(1).run(&spec);
+    assert_eq!(serial.records.len(), spec.job_count());
+    assert_eq!(serial.records.len(), 16);
+    assert!(
+        serial.records.iter().any(|r| r.metrics.data_sent > 0),
+        "no traffic anywhere; the comparison would be vacuous"
+    );
+
+    for workers in [2, 3, 8] {
+        let parallel = Executor::with_workers(workers).run(&spec);
+        assert_eq!(serial, parallel, "records differ at {workers} workers");
+        // Debug prints every f64 digit-exactly: as close to byte-identity
+        // as the public API gets.
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{parallel:?}"),
+            "records render differently at {workers} workers"
+        );
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+}
+
+#[test]
+fn failure_injection_is_deterministic_too() {
+    let spec = CampaignSpec::new("failures", BaseScenario::Small)
+        .stacks(vec![stacks::dsr_odpm_pc()])
+        .rates(vec![4.0])
+        .failures(vec![FailurePlan::none(), FailurePlan::kill("kill-3@10s", 10.0, 3)])
+        .seeds(2)
+        .secs(30);
+    let a = Executor::with_workers(1).run(&spec);
+    let b = Executor::with_workers(4).run(&spec);
+    assert_eq!(a, b);
+    assert_eq!(a.records.len(), 4);
+    assert_eq!(a.records[2].point.failure, "kill-3@10s");
+}
+
+#[test]
+fn bounded_executor_matches_explicit_worker_counts() {
+    // Executor::bounded() (available_parallelism) is just another worker
+    // count: same records as the serial reference.
+    let spec = CampaignSpec::new("bounded", BaseScenario::Small)
+        .stacks(vec![stacks::dsr_active()])
+        .rates(vec![4.0])
+        .seeds(3)
+        .secs(30);
+    assert_eq!(Executor::with_workers(1).run(&spec), Executor::bounded().run(&spec));
+}

@@ -1,0 +1,93 @@
+//! Golden-metrics snapshots: the full [`RunMetrics`] of one
+//! representative scenario per protocol-stack family is pinned to a
+//! committed text file. Any accidental simulator behaviour drift — a
+//! changed counter, a reordered event, a different f64 in any per-node
+//! energy report — fails loudly with a line diff.
+//!
+//! Regenerate after an *intentional* behaviour change with:
+//!
+//! ```text
+//! EEND_BLESS=1 cargo test -p eend-campaign --test golden_metrics
+//! ```
+//!
+//! and review the diff like any other code change. The simulator is
+//! pure integer/f64 arithmetic off a seeded RNG, so these renderings are
+//! stable across runs and machines building with the same std.
+
+use eend_sim::SimDuration;
+use eend_wireless::{presets, stacks, ProtocolStack, Simulator};
+use std::path::PathBuf;
+
+/// One pinned scenario per stack family: reactive hop-count (DSR),
+/// TITAN backbone bias, power-aware reactive (MTPR+), joint-metric
+/// reactive (DSRH), and proactive distance-vector (DSDVH).
+fn families() -> Vec<(&'static str, ProtocolStack)> {
+    vec![
+        ("dsr_active", stacks::dsr_active()),
+        ("titan_pc", stacks::titan_pc()),
+        ("mtpr_plus", stacks::mtpr(true)),
+        ("dsrh_odpm_rate", stacks::dsrh_odpm(true)),
+        ("dsdvh_odpm_psm", stacks::dsdvh_odpm()),
+    ]
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"))
+}
+
+fn render(name: &str, stack: &ProtocolStack) -> String {
+    // The paper's small-network scenario, shortened past the 20–25 s
+    // traffic start so every family moves real data.
+    let mut scenario = presets::small_network(stack.clone(), 4.0, 7);
+    scenario.duration = SimDuration::from_secs(40);
+    let metrics = Simulator::new(&scenario).run();
+    assert!(metrics.data_sent > 0, "{name}: scenario generated no traffic; snapshot is vacuous");
+    format!("{metrics:#?}\n")
+}
+
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("first difference at line {}:\n  golden: {la}\n  actual: {lb}", i + 1);
+        }
+    }
+    format!("line counts differ: golden {} vs actual {}", a.lines().count(), b.lines().count())
+}
+
+#[test]
+fn run_metrics_match_golden_snapshots() {
+    let bless = std::env::var_os("EEND_BLESS").is_some();
+    let mut failures = Vec::new();
+    for (name, stack) in families() {
+        let actual = render(name, &stack);
+        let path = golden_path(name);
+        if bless {
+            std::fs::write(&path, &actual).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden file {} ({e}); run with EEND_BLESS=1 to create it", path.display())
+        });
+        if golden != actual {
+            failures.push(format!("{name}: {}", first_diff(&golden, &actual)));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "simulator behaviour drifted from pinned RunMetrics \
+         (EEND_BLESS=1 regenerates after an intentional change):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_snapshots_cover_every_stack_family() {
+    // The five families partition `stacks::all()` by routing/metric kind;
+    // keep the snapshot set honest if new families appear.
+    let names: Vec<&str> = families().iter().map(|(n, _)| *n).collect();
+    assert_eq!(names.len(), 5);
+    let mut sorted = names.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate family snapshot");
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod grouped;
 pub mod series;
 pub mod summary;
 pub mod table;

@@ -1,4 +1,7 @@
-//! `eend-cli` — run one simulation scenario from the command line.
+//! `eend-cli` — run one simulation scenario, or a whole campaign, from
+//! the command line.
+//!
+//! Single-run mode (the default; a shortened paper §5.2.1 run):
 //!
 //! ```text
 //! eend-cli [--stack TITAN-PC] [--nodes 50] [--area 500] [--flows 10]
@@ -6,11 +9,28 @@
 //!          [--speed 0.0] [--csv] [--list-stacks]
 //! ```
 //!
-//! Defaults reproduce a shortened paper §5.2.1 small-network run.
-//! `--csv` emits a single machine-readable line (header on stderr).
+//! Campaign mode — a declarative scenario-matrix sweep (stacks × rates ×
+//! node counts × speeds × seeds) on the bounded parallel executor:
+//!
+//! ```text
+//! eend-cli campaign [--preset small|large|density|grid]
+//!                   [--stacks NAME,NAME,...] [--rates 2,4,6]
+//!                   [--node-counts 300,400] [--speeds 0,5]
+//!                   [--seeds N] [--seed-base N] [--secs S | --full-secs]
+//!                   [--workers N] [--csv | --json] [--verify-serial]
+//! ```
+//!
+//! The campaign defaults sweep 4 stacks × 3 rates × 4 seeds (48 jobs) of
+//! shortened small networks. `--csv`/`--json` emit one structured record
+//! per run on stdout; otherwise aggregated per-cell figures
+//! (mean ± 95 % CI) are printed. `--verify-serial` reruns the whole grid
+//! on one worker and asserts the records are byte-identical — the
+//! executor's determinism contract.
 
+use eend::campaign::{BaseScenario, CampaignSpec, Executor};
 use eend::radio::cards;
 use eend::sim::SimDuration;
+use eend::stats::render_figure;
 use eend::wireless::{stacks, FlowSpec, Mobility, Placement, Scenario, Simulator};
 
 struct Opts {
@@ -82,7 +102,305 @@ fn parse() -> Opts {
     o
 }
 
+/// Options of the `campaign` subcommand. `rates` stays `None` until the
+/// user passes `--rates`, so the default can adapt to the other axes
+/// (a density or speed sweep must not silently multiply the grid by
+/// rates the scenario builder never reads).
+struct CampaignOpts {
+    preset: BaseScenario,
+    stacks: Vec<String>,
+    rates: Option<Vec<f64>>,
+    node_counts: Vec<usize>,
+    speeds: Vec<f64>,
+    seeds: u64,
+    seed_base: u64,
+    secs: Option<u64>,
+    workers: Option<usize>,
+    csv: bool,
+    json: bool,
+    verify_serial: bool,
+}
+
+fn campaign_usage() -> ! {
+    eprintln!(
+        "usage: eend-cli campaign [--preset small|large|density|grid]\n\
+         \u{20}                        [--stacks NAME,NAME,...] [--rates 2,4,6]\n\
+         \u{20}                        [--node-counts 300,400] [--speeds 0,5]\n\
+         \u{20}                        [--seeds N] [--seed-base N] [--secs S | --full-secs]\n\
+         \u{20}                        [--workers N] [--csv | --json] [--verify-serial]\n\
+         defaults: small preset, TITAN-PC/DSR-ODPM-PC/DSR-ODPM/DSR-Active,\n\
+         rates 2,4,6 Kbit/s, 4 seeds, 60 s — a 48-job grid.\n\
+         --full-secs drops the duration cap (the presets' paper-scale 600/900 s)."
+    );
+    std::process::exit(2)
+}
+
+/// Splits a `--stacks` list on commas that sit outside parentheses, so
+/// names like `DSDVH-ODPM(5,10)-PSM` survive intact.
+fn split_stacks(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in raw.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c)
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c)
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_owned());
+                }
+                cur.clear()
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
+}
+
+fn parse_list<T: std::str::FromStr>(what: &str, raw: &str) -> Vec<T> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: bad {what} element {s:?}");
+                campaign_usage()
+            })
+        })
+        .collect()
+}
+
+fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
+    let mut o = CampaignOpts {
+        preset: BaseScenario::Small,
+        stacks: vec![
+            "TITAN-PC".into(),
+            "DSR-ODPM-PC".into(),
+            "DSR-ODPM".into(),
+            "DSR-Active".into(),
+        ],
+        rates: None,
+        node_counts: Vec::new(),
+        speeds: Vec::new(),
+        seeds: 4,
+        seed_base: 0,
+        secs: Some(60),
+        workers: None,
+        csv: false,
+        json: false,
+        verify_serial: false,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                campaign_usage()
+            })
+        };
+        match a.as_str() {
+            "--preset" => {
+                let raw = val("--preset");
+                o.preset = BaseScenario::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("error: unknown preset {raw:?}");
+                    campaign_usage()
+                })
+            }
+            "--stacks" => o.stacks = split_stacks(&val("--stacks")),
+            "--rates" => o.rates = Some(parse_list("--rates", &val("--rates"))),
+            "--node-counts" => o.node_counts = parse_list("--node-counts", &val("--node-counts")),
+            "--speeds" => o.speeds = parse_list("--speeds", &val("--speeds")),
+            "--seeds" => o.seeds = val("--seeds").parse().unwrap_or_else(|_| campaign_usage()),
+            "--seed-base" => {
+                o.seed_base = val("--seed-base").parse().unwrap_or_else(|_| campaign_usage())
+            }
+            "--secs" => o.secs = Some(val("--secs").parse().unwrap_or_else(|_| campaign_usage())),
+            "--full-secs" => o.secs = None,
+            "--workers" => {
+                o.workers = Some(val("--workers").parse().unwrap_or_else(|_| campaign_usage()))
+            }
+            "--csv" => o.csv = true,
+            "--json" => o.json = true,
+            "--verify-serial" => o.verify_serial = true,
+            "--help" | "-h" => campaign_usage(),
+            other => {
+                eprintln!("error: unknown campaign argument {other}");
+                campaign_usage()
+            }
+        }
+    }
+    if o.stacks.is_empty() || o.seeds == 0 {
+        eprintln!("error: campaign needs at least one stack and one seed");
+        campaign_usage()
+    }
+    // Reject axes the chosen preset never reads: they would multiply the
+    // grid with byte-identical duplicate runs and shrink the reported
+    // CIs by sqrt(duplicates).
+    if o.preset == BaseScenario::Density && o.rates.is_some() {
+        eprintln!("error: --rates does not apply to --preset density (it is fixed at 4 Kbit/s)");
+        campaign_usage()
+    }
+    if o.preset != BaseScenario::Density && !o.node_counts.is_empty() {
+        eprintln!("error: --node-counts only applies to --preset density");
+        campaign_usage()
+    }
+    if o.csv && o.json {
+        eprintln!("error: pick one of --csv and --json");
+        campaign_usage()
+    }
+    o
+}
+
+fn run_campaign(o: CampaignOpts) {
+    let stack_list: Vec<_> = o
+        .stacks
+        .iter()
+        .map(|name| {
+            stacks::by_name(name).unwrap_or_else(|| {
+                eprintln!("error: unknown stack {name:?} (try eend-cli --list-stacks)");
+                std::process::exit(2)
+            })
+        })
+        .collect();
+    // Default rate axis: the usual 2/4/6 Kbit/s sweep — unless another
+    // axis is the sweep (density or speeds), where a rate sweep would
+    // either duplicate runs or smear the aggregation; there a single
+    // 4 Kbit/s (the paper's mid rate) is the default.
+    let rates = match &o.rates {
+        Some(r) => r.clone(),
+        None if o.preset == BaseScenario::Density => Vec::new(),
+        None if o.speeds.len() > 1 => vec![4.0],
+        None => vec![2.0, 4.0, 6.0],
+    };
+    let mut spec = CampaignSpec::new("cli", o.preset)
+        .stacks(stack_list)
+        .rates(rates)
+        .node_counts(o.node_counts.clone())
+        .speeds(o.speeds.clone())
+        .seeds(o.seeds)
+        .seed_base(o.seed_base);
+    if let Some(secs) = o.secs {
+        spec = spec.secs(secs);
+    }
+
+    let executor = o.workers.map(Executor::with_workers).unwrap_or_else(Executor::bounded);
+    eprintln!(
+        "campaign: {} jobs ({} stacks) on {} workers",
+        spec.job_count(),
+        spec.stacks.len(),
+        executor.workers()
+    );
+    let start = std::time::Instant::now();
+    let result = executor.run(&spec);
+    eprintln!("campaign: {} records in {:.2?}", result.records.len(), start.elapsed());
+
+    if o.verify_serial {
+        let serial = Executor::with_workers(1).run(&spec);
+        assert_eq!(
+            result, serial,
+            "parallel and serial campaign records differ — determinism bug"
+        );
+        assert_eq!(format!("{result:?}"), format!("{serial:?}"));
+        eprintln!(
+            "campaign: serial re-run on 1 worker is byte-identical ({} records)",
+            serial.records.len()
+        );
+    }
+
+    if o.csv {
+        print!("{}", result.to_csv());
+        return;
+    }
+    if o.json {
+        println!("{}", result.to_json());
+        return;
+    }
+    // Aggregated per-cell view: pick the x axis that was actually swept,
+    // then partition the records on every *other* swept axis so no cell
+    // pools samples from different grid coordinates (a CI over mixed
+    // rates would measure rate spread, not seed noise).
+    type Axis = (&'static str, fn(&eend::campaign::GridPoint) -> f64);
+    let axes: [Axis; 3] = [
+        ("rate Kbit/s", |p| p.rate_kbps),
+        ("node count", |p| p.nodes as f64),
+        ("speed m/s", |p| p.speed_mps),
+    ];
+    let swept = |ax: &Axis| -> Vec<f64> {
+        let mut vals: Vec<f64> = Vec::new();
+        for r in &result.records {
+            let v = ax.1(&r.point);
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        vals
+    };
+    let x_idx = if o.preset == BaseScenario::Density {
+        1
+    } else if o.speeds.len() > 1 {
+        2
+    } else {
+        0
+    };
+    let (x_name, x) = axes[x_idx];
+    // Cartesian product of the other axes' distinct values (almost
+    // always a single empty combination).
+    let mut partitions: Vec<Vec<(Axis, f64)>> = vec![Vec::new()];
+    for (i, ax) in axes.iter().enumerate() {
+        if i == x_idx {
+            continue;
+        }
+        let vals = swept(ax);
+        if vals.len() > 1 {
+            partitions = partitions
+                .into_iter()
+                .flat_map(|combo| {
+                    vals.iter().map(move |&v| {
+                        let mut c = combo.clone();
+                        c.push((*ax, v));
+                        c
+                    })
+                })
+                .collect();
+        }
+    }
+    for combo in &partitions {
+        let subset = eend::campaign::CampaignResult {
+            campaign: result.campaign.clone(),
+            records: result
+                .records
+                .iter()
+                .filter(|r| combo.iter().all(|(ax, v)| ax.1(&r.point) == *v))
+                .cloned()
+                .collect(),
+        };
+        let suffix: String = combo
+            .iter()
+            .map(|((name, _), v)| format!(", {name} = {v}"))
+            .collect();
+        let delivery = subset.series(x, |m| m.delivery_ratio());
+        println!("{}", render_figure(&format!("delivery ratio (x = {x_name}{suffix})"), &delivery));
+        let goodput = subset.series(x, |m| m.energy_goodput_bit_per_j());
+        println!("{}", render_figure(&format!("energy goodput bit/J (x = {x_name}{suffix})"), &goodput));
+        let energy = subset.series(x, |m| m.enetwork_j());
+        println!("{}", render_figure(&format!("Enetwork J (x = {x_name}{suffix})"), &energy));
+    }
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("campaign") {
+        args.next();
+        return run_campaign(parse_campaign(args));
+    }
     let o = parse();
     let Some(stack) = stacks::by_name(&o.stack) else {
         eprintln!("error: unknown stack {:?} (try --list-stacks)", o.stack);

@@ -19,6 +19,7 @@
 //! | [`core`] | `eend-core` | design problem, heuristics, Eqs 5–15 |
 //! | [`wireless`] | `eend-wireless` | the packet-level simulator |
 //! | [`stats`] | `eend-stats` | run summaries, 95 % CIs, tables |
+//! | [`campaign`] | `eend-campaign` | scenario-matrix sweeps, bounded executor |
 //!
 //! # Quick start
 //!
@@ -37,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub use eend_campaign as campaign;
 pub use eend_core as core;
 pub use eend_graph as graph;
 pub use eend_radio as radio;
