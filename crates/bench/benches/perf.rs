@@ -1,0 +1,160 @@
+//! The performance-architecture bench suite (PR 3): channel queries on
+//! the spatial grid, event-queue throughput including the same-instant
+//! FIFO fast path, and end-to-end 50/100/200-node mobility runs — the
+//! workloads recorded in `BENCH_*.json` perf records.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eend_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use eend_wireless::{presets, stacks, Channel, Simulator};
+
+fn scattered_positions(n: usize, width: f64, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = SimRng::new(seed);
+    (0..n).map(|_| (rng.range_f64(0.0, width), rng.range_f64(0.0, width))).collect()
+}
+
+/// Channel geometry: full rebuilds (mobility ticks) at paper densities
+/// and at a sparse scale where the grid actually culls.
+fn bench_channel_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel");
+    for (name, n, width) in [
+        ("rebuild_100n_paper_density", 100, 707.0),
+        ("rebuild_400n_paper_density", 400, 1414.0),
+        ("rebuild_400n_sparse_grid", 400, 5000.0),
+    ] {
+        let positions = scattered_positions(n, width, 7);
+        let mut ch = Channel::new(positions.clone(), 250.0);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ch.set_positions(positions.clone());
+                black_box(ch.neighbors(0).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Channel queries under load: carrier sensing and collision checks with
+/// a populated live set/log.
+fn bench_channel_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel");
+    let n = 200;
+    let positions = scattered_positions(n, 1000.0, 11);
+    let mut ch = Channel::new(positions, 250.0);
+    for i in 0..32u64 {
+        let s = SimTime::from_micros(i * 50);
+        ch.begin_tx(
+            (i as usize * 7) % n,
+            Some((i as usize * 7 + 1) % n),
+            s,
+            s + SimDuration::from_millis(6),
+        );
+    }
+    let now = SimTime::from_millis(1);
+    group.bench_function("busy_near_200n_32live", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for u in 0..n {
+                acc += u32::from(ch.busy_near(u, now));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("sense_busy_until_200n_32live", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for u in 0..n {
+                acc += u32::from(ch.sense_busy_until(u, now).is_some());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("reception_corrupted_200n_32log", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for r in 0..n {
+                acc += u32::from(ch.reception_corrupted(
+                    r,
+                    0,
+                    SimTime::ZERO,
+                    SimTime::from_millis(10),
+                ));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Event queue: heap-ordered load and the same-instant FIFO fast path a
+/// discrete-event loop leans on.
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("mixed_times_push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc ^= v;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("same_instant_fanout_10k", |b| {
+        // A handler waking a large audience "now", repeatedly — the
+        // pattern broadcasts produce. Exercises the now-FIFO path.
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(256);
+            let mut acc = 0u64;
+            q.schedule(SimTime::ZERO, 0u64);
+            let mut produced = 1u64;
+            while let Some((t, v)) = q.pop() {
+                acc ^= v;
+                if produced < 10_000 {
+                    for k in 0..8 {
+                        q.schedule(t, v + k);
+                    }
+                    produced += 8;
+                    // Advance time every other round so both structures
+                    // see traffic.
+                    q.schedule(t + SimDuration::from_micros(10), v + 9);
+                    produced += 1;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end throughput on the mobility presets — the headline numbers
+/// `eend-cli bench` records into `BENCH_*.json`.
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e");
+    for (name, n, samples) in [
+        ("mobility50_60s", 50usize, 10),
+        ("mobility100_60s", 100, 5),
+        ("mobility200_60s", 200, 3),
+    ] {
+        group.sample_size(samples);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sc = presets::mobility_bench(stacks::titan_pc(), n, 1);
+                black_box(Simulator::new(&sc).run().data_delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_channel_rebuild,
+    bench_channel_queries,
+    bench_event_queue,
+    bench_end_to_end
+);
+criterion_main!(benches);

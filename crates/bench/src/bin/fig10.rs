@@ -1,33 +1,35 @@
 //! Regenerates **Fig 10**: transmit energy of TITAN-PC vs DSR-ODPM in the
 //! small (500×500) and large (1300×1300) scenarios across rates.
 //!
+//! Two declarative campaigns (one per preset family) on the bounded
+//! executor; each scenario is simulated exactly once and the transmit
+//! energy series is cut from the records.
+//!
 //! ```text
 //! cargo run --release -p eend-bench --bin fig10 [-- --full]
 //! ```
 
-use eend_bench::{sweep_figure, HarnessOpts};
+use eend_bench::{figure_spec_on, HarnessOpts};
+use eend_campaign::{BaseScenario, Executor};
 use eend_stats::render_figure;
-use eend_wireless::{presets, stacks};
+use eend_wireless::stacks;
 
 fn main() {
     let opts = HarnessOpts::from_args(2, 5, 180);
     let rates = [2.0, 3.0, 4.0, 5.0, 6.0];
     let pair = vec![stacks::titan_pc(), stacks::dsr_odpm()];
 
-    let small = sweep_figure(&opts, &pair, &rates, |s, r, seed| {
-        presets::small_network(s, r, seed)
-    }, |m| m.transmit_energy_j());
-    let mut series = small;
-    for s in &mut series {
-        s.label = format!("{} (500x500)", s.label);
-    }
-
-    let large = sweep_figure(&opts, &pair, &rates, |s, r, seed| {
-        presets::large_network(s, r, seed)
-    }, |m| m.transmit_energy_j());
-    for mut s in large {
-        s.label = format!("{} (1300x1300)", s.label);
-        series.push(s);
+    let mut series = Vec::new();
+    for (base, label) in [
+        (BaseScenario::Small, "500x500"),
+        (BaseScenario::Large, "1300x1300"),
+    ] {
+        let spec = figure_spec_on("fig10", base, &opts, &pair, &rates);
+        let result = Executor::bounded().run(&spec);
+        for mut s in result.series(|p| p.rate_kbps, |m| m.transmit_energy_j()) {
+            s.label = format!("{} ({label})", s.label);
+            series.push(s);
+        }
     }
 
     println!("{}", render_figure("Fig 10 — transmit energy (J) vs rate (Kbit/s)", &series));

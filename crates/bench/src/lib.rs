@@ -83,14 +83,26 @@ fn usage(msg: &str) -> ! {
 }
 
 /// Builds the campaign grid a figure sweep runs on: `stacks` × `rates` ×
-/// `opts.seeds` over the paper's small-network preset
-/// ([`eend_campaign::BaseScenario::Small`] — switch the `base` field for
-/// other presets), with `opts.secs_override` applied as the spec's
-/// duration. Figure binaries run the returned spec directly (as
-/// `fig8_9` does) or pass custom scenarios via
+/// `opts.seeds` over the paper's small-network preset, with
+/// `opts.secs_override` applied as the spec's duration. Figure binaries
+/// run the returned spec directly (as `fig8_9`, `fig10` and `fig11_12`
+/// do) or pass custom scenarios via
 /// [`eend_campaign::CampaignSpec::expand_with`].
 pub fn figure_spec(name: &str, opts: &HarnessOpts, stacks: &[ProtocolStack], rates: &[f64]) -> CampaignSpec {
-    let mut spec = CampaignSpec::new(name, eend_campaign::BaseScenario::Small)
+    figure_spec_on(name, eend_campaign::BaseScenario::Small, opts, stacks, rates)
+}
+
+/// [`figure_spec`] over an explicit [`eend_campaign::BaseScenario`]
+/// preset family — for figures that sweep the large (or density/grid)
+/// networks instead of the small ones.
+pub fn figure_spec_on(
+    name: &str,
+    base: eend_campaign::BaseScenario,
+    opts: &HarnessOpts,
+    stacks: &[ProtocolStack],
+    rates: &[f64],
+) -> CampaignSpec {
+    let mut spec = CampaignSpec::new(name, base)
         .stacks(stacks.to_vec())
         .rates(rates.to_vec())
         .seeds(opts.seeds);

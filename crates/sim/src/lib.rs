@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod timer;
 
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::{mix_seed, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -5,9 +5,17 @@
 //! the same instant pop in the order they were scheduled. This makes event
 //! delivery a *total* order — a prerequisite for bit-reproducible runs —
 //! without requiring the event type to be `Ord` itself.
+//!
+//! Discrete-event workloads schedule a large share of their events at the
+//! *current* instant (a handler waking its neighbours "now"). Those
+//! events bypass the heap entirely: they go to a FIFO of
+//! currently-due entries and pop in O(1). [`EventQueue::pop`] always
+//! returns the global `(time, seq)` minimum across both structures, so
+//! the delivery order is exactly the order a pure heap would produce —
+//! the fast path is invisible to behaviour, only to wall clocks.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -30,8 +38,14 @@ use crate::time::SimTime;
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Entries scheduled at exactly `now_time` (the time of the last
+    /// pop), in seq order. Drained before `now_time` can advance, since
+    /// pop always takes the global `(time, seq)` minimum.
+    now_fifo: VecDeque<Entry<E>>,
+    now_time: Option<SimTime>,
     seq: u64,
     scheduled_total: u64,
+    peak_len: usize,
 }
 
 #[derive(Debug)]
@@ -69,19 +83,24 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            scheduled_total: 0,
-        }
+        Self::with_capacity(0)
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
+    /// Creates an empty queue with pre-allocated capacity. Sizing the
+    /// queue for a scenario's steady state up front keeps scheduling
+    /// reallocation-free for the whole run ([`EventQueue::capacity`] and
+    /// [`EventQueue::peak_len`] let callers assert that).
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
+            // Same headroom as the heap: in the worst case every pending
+            // event is a same-instant one, and the no-reallocation
+            // invariant covers both structures (see `capacity`).
+            now_fifo: VecDeque::with_capacity(cap),
+            now_time: None,
             seq: 0,
             scheduled_total: 0,
+            peak_len: 0,
         }
     }
 
@@ -90,27 +109,52 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry { time, seq, event });
+        // The FIFO front must be the FIFO's (time, seq) minimum: entries
+        // share one timestamp (the guard) and seqs grow monotonically.
+        // Past-time schedules (legal through the public API, never issued
+        // by the simulator) take the heap, which handles any order.
+        if self.now_time == Some(time)
+            && self.now_fifo.back().is_none_or(|back| back.time == time)
+        {
+            self.now_fifo.push_back(Entry { time, seq, event });
+        } else {
+            self.heap.push(Entry { time, seq, event });
+        }
+        self.peak_len = self.peak_len.max(self.len());
     }
 
     /// Removes and returns the earliest event, with its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        // Global (time, seq) minimum across the heap and the now-FIFO:
+        // identical delivery order to a single heap.
+        let take_fifo = match (self.now_fifo.front(), self.heap.peek()) {
+            (Some(f), Some(h)) => (f.time, f.seq) < (h.time, h.seq),
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let e = if take_fifo { self.now_fifo.pop_front() } else { self.heap.pop() }?;
+        self.now_time = Some(e.time);
+        Some((e.time, e.event))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match (self.now_fifo.front(), self.heap.peek()) {
+            (Some(f), Some(h)) => Some(f.time.min(h.time)),
+            (Some(f), None) => Some(f.time),
+            (None, Some(h)) => Some(h.time),
+            (None, None) => None,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.now_fifo.len()
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.now_fifo.is_empty()
     }
 
     /// Total number of events ever scheduled (a cheap progress metric).
@@ -118,9 +162,22 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
+    /// Maximum number of events that were pending at once.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Combined allocated capacity of the backing heap and the
+    /// same-instant FIFO. Growth in either structure changes this value,
+    /// which is what the no-reallocation tests pin.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity() + self.now_fifo.capacity()
+    }
+
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.now_fifo.clear();
     }
 }
 
@@ -215,6 +272,55 @@ mod tests {
             for i in 0..n {
                 prop_assert_eq!(q.pop().unwrap().1, i);
             }
+        }
+
+        /// The now-FIFO fast path is invisible: arbitrary interleavings of
+        /// schedules (including at the just-popped instant and in the
+        /// past) and pops deliver exactly the (time, seq) order a pure
+        /// min-heap reference produces.
+        #[test]
+        fn fast_path_matches_reference_order(
+            ops in proptest::collection::vec(0u64..2_000, 1..300),
+        ) {
+            // Reference: (time, seq) pairs sorted stably.
+            let mut q = EventQueue::new();
+            let mut reference: Vec<(u64, usize)> = Vec::new();
+            let mut popped = Vec::new();
+            let mut expected = Vec::new();
+            for (i, &op) in ops.iter().enumerate() {
+                if op % 5 == 0 {
+                    // Pop the reference minimum and the queue's choice.
+                    reference.sort_by_key(|&(t, s)| (t, s));
+                    if let Some(&(t, id)) = reference.first() {
+                        reference.remove(0);
+                        expected.push((t, id));
+                        let (qt, qid) = q.pop().expect("queue agrees something is pending");
+                        popped.push((qt.as_nanos(), qid));
+                    } else {
+                        prop_assert!(q.pop().is_none());
+                    }
+                } else {
+                    // Bias schedules towards the current instant (op/7)
+                    // so the FIFO path is exercised hard, with some past
+                    // and future times mixed in.
+                    let t = match op % 3 {
+                        0 => popped.last().map_or(op, |&(t, _)| t),
+                        1 => op / 2,
+                        _ => op,
+                    };
+                    q.schedule(SimTime::from_nanos(t), i);
+                    reference.push((t, i));
+                }
+            }
+            // Drain what is left.
+            reference.sort_by_key(|&(t, s)| (t, s));
+            for &(t, id) in &reference {
+                expected.push((t, id));
+                let (qt, qid) = q.pop().expect("entry remains");
+                popped.push((qt.as_nanos(), qid));
+            }
+            prop_assert!(q.pop().is_none());
+            prop_assert_eq!(popped, expected);
         }
     }
 }

@@ -56,7 +56,7 @@ pub use mobility::Mobility;
 pub use power::{PmMode, PowerPolicy, PsmConfig, TitanConfig};
 pub use projection::{project, Projection, ProjectionParams, Scheduling};
 pub use routing::{DsdvConfig, ReactiveConfig, RouteMetric};
-pub use runner::Simulator;
+pub use runner::{QueueStats, Simulator};
 pub use scenario::{stacks, ProtocolStack, RoutingKind, Scenario};
 pub use topology::Placement;
 pub use traffic::{Flow, FlowSpec};

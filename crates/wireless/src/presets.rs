@@ -66,6 +66,29 @@ pub fn grid_hypothetical(stack: ProtocolStack, rate_kbps: f64, seed: u64) -> Sce
     )
 }
 
+/// Performance-benchmark preset: `n` nodes at the small-network density
+/// (the 500×500 m² field scaled to keep 50 nodes' density), `n/5` CBR
+/// flows at 4 Kbit/s, random-waypoint mobility at 2.5–5 m/s with 5 s
+/// pauses, 60 s horizon, Cabletron.
+///
+/// This is the scenario family `BENCH_*.json` perf records and the
+/// `perf-smoke` CI job measure (50/100/200 nodes); identical to an
+/// `eend-cli --nodes n --area <scaled> --flows n/5 --rate 4 --secs 60
+/// --speed 5` single run, so any historical build can be timed on the
+/// same workload.
+pub fn mobility_bench(stack: ProtocolStack, n: usize, seed: u64) -> Scenario {
+    let area = 500.0 * (n as f64 / 50.0).sqrt();
+    Scenario::new(
+        Placement::UniformRandom { n, width: area, height: area },
+        cards::cabletron(),
+        stack,
+        FlowSpec::cbr(n / 5, 4.0),
+        SimDuration::from_secs(60),
+        seed,
+    )
+    .with_mobility(crate::mobility::Mobility::random_waypoint(2.5, 5.0, 5.0))
+}
+
 /// Draws `k` distinct-endpoint pairs among `0..limit` from a seed that
 /// does not depend on network size.
 fn fixed_pairs(k: usize, limit: usize, seed: u64) -> Vec<(NodeId, NodeId)> {

@@ -176,34 +176,47 @@ impl DsdvRouting {
         }
     }
 
-    /// Handles a received frame.
+    /// Handles a received frame. Table advertisements are merged from a
+    /// borrow — the (potentially whole-table) entry list is never cloned
+    /// just to dispatch on the packet kind.
     pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
         let from = frame.tx;
         let mut packet = frame.packet;
-        match packet.kind.clone() {
-            PacketKind::DsdvUpdate { entries } => self.on_update(ctx, from, &entries),
-            PacketKind::Data { .. } => {
-                let me = ctx.node;
-                if packet.dst == me {
-                    packet.route.push(me);
-                    return vec![Action::Deliver(packet)];
-                }
-                if packet.route.contains(&me) {
-                    // Transient loop while tables converge: shed the packet.
-                    return vec![Action::Drop(packet, DropReason::NoRoute)];
-                }
-                match self.next_hop(packet.dst) {
-                    Some(next) => {
-                        packet.route.push(me);
-                        packet.hop_idx += 1;
-                        vec![Action::Send(Frame { tx: me, rx: Some(next), packet })]
-                    }
-                    None => vec![Action::Drop(packet, DropReason::NoRoute)],
-                }
-            }
-            // Reactive control traffic is foreign to DSDV nodes.
-            _ => Vec::new(),
+        if let PacketKind::DsdvUpdate { entries } = &packet.kind {
+            return self.on_update(ctx, from, entries);
         }
+        if !packet.kind.is_data() {
+            // Reactive control traffic is foreign to DSDV nodes.
+            return Vec::new();
+        }
+        let me = ctx.node;
+        if packet.dst == me {
+            packet.route.push(me);
+            return vec![Action::Deliver(packet)];
+        }
+        if packet.route.contains(&me) {
+            // Transient loop while tables converge: shed the packet.
+            return vec![Action::Drop(packet, DropReason::NoRoute)];
+        }
+        match self.next_hop(packet.dst) {
+            Some(next) => {
+                packet.route.push(me);
+                packet.hop_idx += 1;
+                vec![Action::Send(Frame { tx: me, rx: Some(next), packet })]
+            }
+            None => vec![Action::Drop(packet, DropReason::NoRoute)],
+        }
+    }
+
+    /// Handles a broadcast reception without taking ownership (see
+    /// [`crate::routing::RoutingAgent::on_broadcast`]): advertisements —
+    /// the only broadcast DSDV traffic — are merged straight from the
+    /// shared frame.
+    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame) -> Vec<Action> {
+        if let PacketKind::DsdvUpdate { entries } = &frame.packet.kind {
+            return self.on_update(ctx, frame.tx, entries);
+        }
+        self.on_frame(ctx, frame.clone())
     }
 
     fn on_update(
@@ -356,6 +369,7 @@ mod tests {
                 card: &self.card,
                 bandwidth_bps: 2_000_000.0,
                 rng: &mut self.rng,
+                active_neighbors: None,
             }
         }
     }

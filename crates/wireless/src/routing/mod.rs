@@ -80,6 +80,29 @@ pub struct RoutingCtx<'a> {
     pub bandwidth_bps: f64,
     /// This node's RNG stream.
     pub rng: &'a mut SimRng,
+    /// Per-node count of neighbours in [`PmMode::ActiveMode`], maintained
+    /// incrementally by the event loop. `None` (unit tests, standalone
+    /// use) falls back to counting over the neighbour list.
+    pub active_neighbors: Option<&'a [u32]>,
+}
+
+impl RoutingCtx<'_> {
+    /// Number of this node's neighbours currently in active mode —
+    /// TITAN's backbone density. O(1) off the event loop's incremental
+    /// counts; O(degree) without them. The two always agree: the loop
+    /// refreshes the counts on every mobility rebuild and power-mode
+    /// flip.
+    pub fn backbone_neighbors(&self) -> usize {
+        match self.active_neighbors {
+            Some(counts) => counts[self.node] as usize,
+            None => self
+                .channel
+                .neighbors(self.node)
+                .iter()
+                .filter(|&&w| self.pm_modes[w] == PmMode::ActiveMode)
+                .count(),
+        }
+    }
 }
 
 /// A node's routing agent.
@@ -105,6 +128,18 @@ impl RoutingAgent {
         match self {
             RoutingAgent::Reactive(r) => r.on_frame(ctx, frame),
             RoutingAgent::Dsdv(d) => d.on_frame(ctx, frame),
+        }
+    }
+
+    /// A link-layer broadcast reached this node. Behaviourally identical
+    /// to [`RoutingAgent::on_frame`] on a clone of `frame`, but borrows:
+    /// the event loop hands the same frame to every receiver, and the
+    /// flood paths (RREQ damping, DSDV table merges) only copy packet
+    /// payloads for receivers that actually emit something.
+    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame) -> Vec<Action> {
+        match self {
+            RoutingAgent::Reactive(r) => r.on_broadcast(ctx, frame),
+            RoutingAgent::Dsdv(d) => d.on_broadcast(ctx, frame),
         }
     }
 

@@ -12,13 +12,13 @@
 //! of its neighbourhood is already backbone, the less likely it forwards)
 //! and with a small delay, so routes gravitate onto already-awake nodes.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::frame::{Frame, NodeId, Packet, PacketKind};
 use crate::power::{PmMode, TitanConfig};
 use crate::routing::metric::RouteMetric;
 use crate::routing::{Action, DropReason, RoutingCtx, TimerKind};
-use eend_sim::SimDuration;
+use eend_sim::{FxHashMap, SimDuration};
 
 /// Size of RREQ/RREP/RERR bodies on the wire, bytes (headers and the
 /// accumulated path are added by [`Packet::wire_bytes`]).
@@ -80,12 +80,12 @@ struct Pending {
 #[derive(Debug, Clone)]
 pub struct ReactiveRouting {
     cfg: ReactiveConfig,
-    cache: HashMap<NodeId, CachedRoute>,
-    pending: HashMap<NodeId, Pending>,
+    cache: FxHashMap<NodeId, CachedRoute>,
+    pending: FxHashMap<NodeId, Pending>,
     /// Best cost forwarded per (origin, rreq id) — duplicate suppression.
-    seen: HashMap<(NodeId, u64), f64>,
+    seen: FxHashMap<(NodeId, u64), f64>,
     /// At the target: best cost replied and how many replies were sent.
-    replied: HashMap<(NodeId, u64), (f64, u32)>,
+    replied: FxHashMap<(NodeId, u64), (f64, u32)>,
     next_rreq: u64,
     /// Discoveries initiated (metrics).
     pub discoveries: u64,
@@ -96,10 +96,10 @@ impl ReactiveRouting {
     pub fn new(cfg: ReactiveConfig) -> ReactiveRouting {
         ReactiveRouting {
             cfg,
-            cache: HashMap::new(),
-            pending: HashMap::new(),
-            seen: HashMap::new(),
-            replied: HashMap::new(),
+            cache: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            seen: FxHashMap::default(),
+            replied: FxHashMap::default(),
             next_rreq: 0,
             discoveries: 0,
         }
@@ -172,22 +172,52 @@ impl ReactiveRouting {
         ]
     }
 
-    /// Handles a received frame.
+    /// Handles a received frame. The kind is moved out of the packet (and
+    /// restored where a branch forwards it), so reception never clones
+    /// the RREQ/RREP path vectors just to dispatch.
     pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
         let from = frame.tx;
-        let packet = frame.packet;
-        match packet.kind.clone() {
+        let mut packet = frame.packet;
+        let kind = std::mem::replace(&mut packet.kind, PacketKind::Rerr { from: 0, to: 0 });
+        match kind {
             PacketKind::Rreq { id, origin, target, cost, path, rate_bps } => {
-                self.on_rreq(ctx, from, packet, id, origin, target, cost, path, rate_bps)
+                self.on_rreq(ctx, from, &packet, id, origin, target, cost, &path, rate_bps)
             }
-            PacketKind::Rrep { origin, target, path, cost, .. } => {
-                self.on_rrep(ctx, packet, origin, target, path, cost)
+            PacketKind::Rrep { id, origin, target, path, cost } => {
+                self.on_rrep(ctx, packet, id, origin, target, path, cost)
             }
             PacketKind::Rerr { from: bad_from, to: bad_to } => {
+                packet.kind = PacketKind::Rerr { from: bad_from, to: bad_to };
                 self.on_rerr(ctx, packet, bad_from, bad_to)
             }
-            PacketKind::Data { .. } => self.on_data(ctx, packet),
+            PacketKind::Data { flow, seq, rate_bps } => {
+                packet.kind = PacketKind::Data { flow, seq, rate_bps };
+                self.on_data(ctx, packet)
+            }
             PacketKind::DsdvUpdate { .. } => Vec::new(), // not ours; ignore
+        }
+    }
+
+    /// Handles a broadcast reception without taking ownership: the
+    /// runner delivers one shared frame to every receiver, and the flood
+    /// logic only allocates (path copy, forwarded packet) for the
+    /// minority of receivers that actually reply or rebroadcast.
+    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame) -> Vec<Action> {
+        match &frame.packet.kind {
+            PacketKind::Rreq { id, origin, target, cost, path, rate_bps } => self.on_rreq(
+                ctx,
+                frame.tx,
+                &frame.packet,
+                *id,
+                *origin,
+                *target,
+                *cost,
+                path,
+                *rate_bps,
+            ),
+            // Unicast-only kinds never arrive by broadcast in this stack;
+            // fall back to the owning path for API completeness.
+            _ => self.on_frame(ctx, frame.clone()),
         }
     }
 
@@ -196,12 +226,12 @@ impl ReactiveRouting {
         &mut self,
         ctx: &mut RoutingCtx<'_>,
         from: NodeId,
-        packet: Packet,
+        packet: &Packet,
         id: u64,
         origin: NodeId,
         target: NodeId,
         cost: f64,
-        path: Vec<NodeId>,
+        path: &[NodeId],
         rate_bps: f64,
     ) -> Vec<Action> {
         let me = ctx.node;
@@ -215,8 +245,12 @@ impl ReactiveRouting {
                 .cfg
                 .metric
                 .link_cost(ctx.card, dist, in_psm, rate_bps, ctx.bandwidth_bps);
-        let mut full_path = path;
-        full_path.push(me);
+        let full_path = |path: &[NodeId]| {
+            let mut fp = Vec::with_capacity(path.len() + 1);
+            fp.extend_from_slice(path);
+            fp.push(me);
+            fp
+        };
 
         if me == target {
             let entry = self.replied.entry((origin, id)).or_insert((f64::INFINITY, 0));
@@ -225,6 +259,7 @@ impl ReactiveRouting {
                 return Vec::new();
             }
             *entry = (new_cost, entry.1 + 1);
+            let full_path = full_path(path);
             let mut reply_route = full_path.clone();
             reply_route.reverse();
             let next = reply_route[1];
@@ -250,30 +285,47 @@ impl ReactiveRouting {
         }
         self.seen.insert((origin, id), new_cost);
 
-        let forwarded = Packet {
-            kind: PacketKind::Rreq { id, origin, target, cost: new_cost, path: full_path, rate_bps },
-            ..packet
-        };
-        let frame = Frame { tx: me, rx: None, packet: forwarded };
+        // TITAN's stochastic flood damping draws its chance before the
+        // forwarded copy is materialised: refusals cost no allocation.
+        let mut delay = None;
         if let (Some(titan), true) = (self.cfg.titan, in_psm) {
-            let neighbors = ctx.channel.neighbors(me);
-            let backbone = neighbors
-                .iter()
-                .filter(|&&w| ctx.pm_modes[w] == PmMode::ActiveMode)
-                .count();
-            let p = titan.forward_probability(neighbors.len(), backbone);
+            let backbone = ctx.backbone_neighbors();
+            let p = titan.forward_probability(ctx.channel.neighbors(me).len(), backbone);
             if !ctx.rng.chance(p) {
                 return Vec::new();
             }
-            return vec![Action::SendAt(frame, ctx.now + titan.psm_delay)];
+            delay = Some(titan.psm_delay);
         }
-        vec![Action::Send(frame)]
+        let forwarded = Packet {
+            kind: PacketKind::Rreq {
+                id,
+                origin,
+                target,
+                cost: new_cost,
+                path: full_path(path),
+                rate_bps,
+            },
+            uid: packet.uid,
+            src: packet.src,
+            dst: packet.dst,
+            size_bytes: packet.size_bytes,
+            route: packet.route.clone(),
+            hop_idx: packet.hop_idx,
+            salvage: packet.salvage,
+        };
+        let frame = Frame { tx: me, rx: None, packet: forwarded };
+        match delay {
+            Some(d) => vec![Action::SendAt(frame, ctx.now + d)],
+            None => vec![Action::Send(frame)],
+        }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_rrep(
         &mut self,
         ctx: &mut RoutingCtx<'_>,
         mut packet: Packet,
+        id: u64,
         origin: NodeId,
         target: NodeId,
         path: Vec<NodeId>,
@@ -298,6 +350,9 @@ impl ReactiveRouting {
             }
             return actions;
         }
+        // Intermediate hop: restore the kind (moved apart at dispatch)
+        // and pass the reply along the reversed discovery route.
+        packet.kind = PacketKind::Rrep { id, origin, target, path, cost };
         packet.hop_idx += 1;
         match packet.next_hop() {
             Some(next) => vec![Action::Send(Frame { tx: me, rx: Some(next), packet })],
@@ -463,6 +518,7 @@ mod tests {
                 card: &self.card,
                 bandwidth_bps: 2_000_000.0,
                 rng: &mut self.rng,
+                active_neighbors: None,
             }
         }
     }

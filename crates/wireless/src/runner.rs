@@ -37,17 +37,31 @@ enum Event {
     SleepCheck(NodeId),
     PmKeepalive(NodeId),
     RoutingTimer(NodeId, TimerKind),
-    EnqueueAt(NodeId, Frame),
+    /// Boxed: the frame would otherwise quadruple the size of every
+    /// event the binary heap sifts (delayed enqueues are rare; heap
+    /// moves happen on every schedule/pop).
+    EnqueueAt(NodeId, Box<Frame>),
     NodeFail(NodeId),
     MobilityTick,
+    /// A run of [`Event::MacTick`]s scheduled back-to-back at the same
+    /// instant (a broadcast waking its whole audience). The members held
+    /// consecutive sequence numbers, so no other event could have fired
+    /// between them — executing them in order inside one event is
+    /// observationally identical and saves one queue round-trip per
+    /// member. Buffers are recycled via `Simulator::tick_batch_pool`.
+    MacTickBatch(Vec<NodeId>),
 }
 
+/// The transaction owns its frame (popped from the MAC queue), so the
+/// hot path never clones packets; an [`TxnKind::RtsFail`] carries none —
+/// the failed frame stays queued for the retry.
 #[derive(Debug, Clone)]
 enum TxnKind {
     /// Full RTS/CTS/DATA/ACK exchange with `rx`.
-    Unicast { rx: NodeId },
-    /// DIFS + DATA to every listed receiver.
-    Broadcast { receivers: Vec<NodeId> },
+    Unicast { rx: NodeId, frame: Frame },
+    /// DIFS + DATA to every listed receiver. The receiver buffer is
+    /// recycled through `Simulator::receiver_pool`.
+    Broadcast { receivers: Vec<NodeId>, frame: Frame },
     /// RTS that will get no CTS (receiver jammed); ends in a retry.
     RtsFail,
 }
@@ -55,7 +69,6 @@ enum TxnKind {
 #[derive(Debug, Clone)]
 struct Txn {
     kind: TxnKind,
-    frame: Frame,
     start: SimTime,
     plan: UnicastPlan,
     data_power_mw: f64,
@@ -67,6 +80,22 @@ struct Node {
     routing: RoutingAgent,
     txn: Option<Txn>,
     forwarded_data: bool,
+}
+
+/// Event-queue health counters of a completed run, reported by
+/// [`Simulator::run_with_stats`]: throughput accounting for benchmarks
+/// plus the no-reallocation invariant (`capacity == initial_capacity`
+/// proves steady-state scheduling never grew the heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Queue capacity when the run started (sized from the scenario).
+    pub initial_capacity: usize,
+    /// Queue capacity when the run finished.
+    pub capacity: usize,
+    /// Maximum number of simultaneously pending events.
+    pub peak_len: usize,
+    /// Total events scheduled over the whole run.
+    pub scheduled_total: u64,
 }
 
 /// The packet-level simulator. Construct with [`Simulator::new`], call
@@ -96,6 +125,19 @@ pub struct Simulator {
     last_beacon: SimTime,
     atim_cursor: Vec<SimTime>,
     next_uid: u64,
+    // Reusable scratch buffers: the steady-state event loop allocates
+    // nothing of its own (routing-agent outputs and scheduled frames are
+    // the only remaining heap traffic).
+    receiver_pool: Vec<Vec<NodeId>>,
+    beacon_heads: Vec<(Option<NodeId>, bool)>,
+    tick_batch_pool: Vec<Vec<NodeId>>,
+    rc_scratch: Vec<NodeId>,
+    /// Per-node count of neighbours in active mode (TITAN's backbone
+    /// density), kept in lockstep with `pm_modes` and the channel's
+    /// neighbour sets so routing reads it in O(1).
+    active_neighbors: Vec<u32>,
+    trace_bcast: bool,
+    trace_beacons: bool,
     // Measurement.
     m: Counters,
 }
@@ -172,6 +214,11 @@ impl Simulator {
             })
             .collect();
 
+        // Size the event queue for the scenario's steady state so the
+        // heap never reallocates mid-run: at most a handful of pending
+        // events per node (MacTick/TxnEnd/SleepCheck/PmKeepalive/timers
+        // plus delayed-forwarding bursts) and one PacketGen per flow.
+        let event_capacity = (16 * n + 4 * flows.len() + 64).next_power_of_two();
         let mut sim = Simulator {
             card: scenario.card,
             mac_timing: scenario.mac,
@@ -180,7 +227,7 @@ impl Simulator {
             power_control: scenario.stack.power_control,
             end: SimTime::ZERO + scenario.duration,
             time: SimTime::ZERO,
-            queue: EventQueue::with_capacity(1024),
+            queue: EventQueue::with_capacity(event_capacity),
             rng: sim_rng,
             channel,
             nodes,
@@ -195,9 +242,17 @@ impl Simulator {
             last_beacon: SimTime::ZERO,
             atim_cursor: vec![SimTime::ZERO; n],
             next_uid: 1,
+            receiver_pool: Vec::new(),
+            beacon_heads: Vec::new(),
+            tick_batch_pool: Vec::new(),
+            rc_scratch: Vec::new(),
+            active_neighbors: vec![0; n],
+            trace_bcast: std::env::var_os("EEND_TRACE_BCAST").is_some(),
+            trace_beacons: std::env::var_os("EEND_TRACE_BEACONS").is_some(),
             m: Counters::default(),
         };
         sim.m.routes = vec![None; sim.flows.len()];
+        sim.recompute_active_neighbors();
         for &(at, node) in &scenario.node_failures {
             assert!(node < n, "failure injected for unknown node {node}");
             sim.queue.schedule(at, Event::NodeFail(node));
@@ -225,7 +280,15 @@ impl Simulator {
     }
 
     /// Runs to the configured horizon and returns the measurements.
-    pub fn run(mut self) -> RunMetrics {
+    pub fn run(self) -> RunMetrics {
+        self.run_with_stats().0
+    }
+
+    /// Runs to the configured horizon and additionally reports event-queue
+    /// health counters (throughput accounting for benchmarks, and the
+    /// no-reallocation invariant pinned by the queue-capacity test).
+    pub fn run_with_stats(mut self) -> (RunMetrics, QueueStats) {
+        let initial_capacity = self.queue.capacity();
         while let Some(t) = self.queue.peek_time() {
             if t > self.end {
                 break;
@@ -235,7 +298,13 @@ impl Simulator {
             self.time = t;
             self.handle(ev);
         }
-        self.finish()
+        let stats = QueueStats {
+            initial_capacity,
+            capacity: self.queue.capacity(),
+            peak_len: self.queue.peak_len(),
+            scheduled_total: self.queue.scheduled_total(),
+        };
+        (self.finish(), stats)
     }
 
     fn finish(mut self) -> RunMetrics {
@@ -284,30 +353,70 @@ impl Simulator {
                 let actions = self.call_routing(u, |r, ctx| r.on_timer(ctx, kind));
                 self.apply_actions(u, actions);
             }
-            Event::EnqueueAt(u, frame) => self.enqueue_frame(u, frame),
+            Event::EnqueueAt(u, frame) => self.enqueue_frame(u, *frame),
             Event::NodeFail(u) => self.on_node_fail(u),
             Event::MobilityTick => self.on_mobility_tick(),
+            Event::MacTickBatch(mut batch) => {
+                for &r in &batch {
+                    self.on_mac_tick(r);
+                }
+                batch.clear();
+                self.tick_batch_pool.push(batch);
+            }
+        }
+    }
+
+    /// Appends `u` to a same-instant tick batch, applying exactly the
+    /// guard [`Simulator::schedule_mac_tick`] applies at schedule time.
+    fn push_tick_now(&mut self, batch: &mut Vec<NodeId>, u: NodeId) {
+        if self.nodes[u].mac.tick_pending || self.nodes[u].mac.busy {
+            return;
+        }
+        self.nodes[u].mac.tick_pending = true;
+        batch.push(u);
+    }
+
+    /// Schedules a batch built by [`Simulator::push_tick_now`] as one
+    /// event at the current instant (or as a plain tick when only one
+    /// node needs waking).
+    fn commit_ticks_now(&mut self, mut batch: Vec<NodeId>) {
+        match batch.len() {
+            0 => {
+                self.tick_batch_pool.push(batch);
+            }
+            1 => {
+                let u = batch[0];
+                batch.clear();
+                self.tick_batch_pool.push(batch);
+                self.queue.schedule(self.time, Event::MacTick(u));
+            }
+            _ => self.queue.schedule(self.time, Event::MacTickBatch(batch)),
         }
     }
 
     fn on_mobility_tick(&mut self) {
-        let crate::mobility::Mobility::RandomWaypoint { speed_range, pause, tick } =
-            self.mobility.clone()
+        let crate::mobility::Mobility::RandomWaypoint { speed_range, pause, tick } = &self.mobility
         else {
             return;
         };
-        let n = self.nodes.len();
-        let mut positions: Vec<(f64, f64)> = (0..n).map(|i| self.channel.position(i)).collect();
-        crate::mobility::step_waypoints(
-            &mut positions,
-            &mut self.waypoints,
-            self.bounds,
-            speed_range,
-            pause.as_secs_f64(),
-            tick.as_secs_f64(),
-            &mut self.mobility_rng,
-        );
-        self.channel.set_positions(positions);
+        let (speed_range, pause_s, tick) = (*speed_range, pause.as_secs_f64(), *tick);
+        // Step the waypoint model directly on the channel's position
+        // buffer: no per-tick vector is built, and the channel refreshes
+        // its spatial grid incrementally afterwards.
+        let Simulator { channel, waypoints, bounds, mobility_rng, .. } = self;
+        channel.update_positions(|positions| {
+            crate::mobility::step_waypoints(
+                positions,
+                waypoints,
+                *bounds,
+                speed_range,
+                pause_s,
+                tick.as_secs_f64(),
+                mobility_rng,
+            )
+        });
+        // Neighbour sets changed: the backbone counts must follow.
+        self.recompute_active_neighbors();
         self.queue.schedule(self.time + tick, Event::MobilityTick);
     }
 
@@ -323,7 +432,7 @@ impl Simulator {
         self.pm[u].keepalive.cancel();
         self.pm[u].awake_until = SimTime::ZERO;
         self.pm[u].mode = PmMode::PowerSave;
-        self.pm_modes[u] = PmMode::PowerSave;
+        self.set_pm_mode(u, PmMode::PowerSave);
         if !self.nodes[u].mac.busy && self.nodes[u].meter.state() != RadioState::Sleep {
             self.nodes[u].meter.set_sleep(self.time);
         }
@@ -363,7 +472,8 @@ impl Simulator {
         u: NodeId,
         f: impl FnOnce(&mut RoutingAgent, &mut RoutingCtx<'_>) -> Vec<Action>,
     ) -> Vec<Action> {
-        let Simulator { nodes, channel, pm_modes, rng, card, mac_timing, time, .. } = self;
+        let Simulator { nodes, channel, pm_modes, rng, card, mac_timing, time, active_neighbors, .. } =
+            self;
         let mut ctx = RoutingCtx {
             node: u,
             now: *time,
@@ -372,8 +482,39 @@ impl Simulator {
             card,
             bandwidth_bps: mac_timing.bandwidth_bps,
             rng,
+            active_neighbors: Some(active_neighbors),
         };
         f(&mut nodes[u].routing, &mut ctx)
+    }
+
+    /// Rebuilds every node's active-neighbour count from scratch (after
+    /// a mobility rebuild changed the neighbour sets).
+    fn recompute_active_neighbors(&mut self) {
+        let Simulator { channel, pm_modes, active_neighbors, .. } = self;
+        for (u, count) in active_neighbors.iter_mut().enumerate() {
+            *count = channel
+                .neighbors(u)
+                .iter()
+                .filter(|&&w| pm_modes[w] == PmMode::ActiveMode)
+                .count() as u32;
+        }
+    }
+
+    /// Flips a node's power-management mode, keeping the neighbours'
+    /// backbone counts in sync.
+    fn set_pm_mode(&mut self, i: NodeId, mode: PmMode) {
+        if self.pm_modes[i] == mode {
+            return;
+        }
+        self.pm_modes[i] = mode;
+        let Simulator { channel, active_neighbors, .. } = self;
+        for &w in channel.neighbors(i) {
+            if mode == PmMode::ActiveMode {
+                active_neighbors[w] += 1;
+            } else {
+                active_neighbors[w] -= 1;
+            }
+        }
     }
 
     fn apply_actions(&mut self, u: NodeId, actions: Vec<Action>) {
@@ -381,13 +522,15 @@ impl Simulator {
             match a {
                 Action::Send(frame) => self.enqueue_frame(u, frame),
                 Action::SendAt(frame, at) => {
-                    self.queue.schedule(at.max(self.time), Event::EnqueueAt(u, frame));
+                    self.queue.schedule(at.max(self.time), Event::EnqueueAt(u, Box::new(frame)));
                 }
                 Action::Deliver(packet) => {
                     if let PacketKind::Data { flow, .. } = packet.kind {
                         self.m.data_delivered += 1;
                         self.m.delivered_bits += (packet.size_bytes * 8) as f64;
-                        self.m.routes[flow] = Some(packet.route.clone());
+                        // The delivered packet is owned: move its route
+                        // into the measurement instead of cloning it.
+                        self.m.routes[flow] = Some(packet.route);
                     }
                 }
                 Action::Drop(packet, reason) => self.count_drop(&packet, reason),
@@ -483,17 +626,19 @@ impl Simulator {
             return; // the next beacon's announcements will unblock us
         }
 
-        // Carrier sense (subject to the slot-time detection delay).
-        if self.channel.busy_near(u, now) {
-            let until = self.channel.busy_until(u).unwrap_or(now);
+        // Carrier sense (subject to the slot-time detection delay), with
+        // the busy-until horizon from the same pass over the live set.
+        if let Some(until) = self.channel.sense_busy_until(u, now) {
             let stage = self.nodes[u].mac.retries;
             let delay = self.mac_timing.difs + self.mac_timing.backoff(&mut self.rng, stage);
             self.schedule_mac_tick(u, until + delay);
             return;
         }
 
-        let head = self.nodes[u].mac.head().expect("non-empty").clone();
-        match head.rx {
+        // Only the head's addressing is needed to pick a branch; the
+        // frame itself stays queued (no clone) until a transaction pops it.
+        let head_rx = self.nodes[u].mac.head().expect("non-empty").rx;
+        match head_rx {
             Some(v) => {
                 if !self.channel.in_range(u, v) {
                     // Stale route onto a non-link: treat as immediate failure.
@@ -519,7 +664,6 @@ impl Simulator {
                     self.nodes[u].mac.busy = true;
                     self.nodes[u].txn = Some(Txn {
                         kind: TxnKind::RtsFail,
-                        frame: head,
                         start: now,
                         plan: UnicastPlan::for_bytes(&self.mac_timing, 0),
                         data_power_mw: 0.0,
@@ -542,7 +686,7 @@ impl Simulator {
                 self.nodes[u].mac.busy = true;
                 self.nodes[v].mac.busy = true;
                 self.nodes[u].txn =
-                    Some(Txn { kind: TxnKind::Unicast { rx: v }, frame, start: now, plan, data_power_mw });
+                    Some(Txn { kind: TxnKind::Unicast { rx: v, frame }, start: now, plan, data_power_mw });
                 self.queue.schedule(end, Event::TxnEnd(u));
             }
             None => {
@@ -550,22 +694,23 @@ impl Simulator {
                 let bytes = frame.packet.wire_bytes();
                 let dur = self.mac_timing.broadcast_duration(bytes);
                 let end = now + dur;
-                // Lock in the audience: awake, not otherwise engaged.
-                let receivers: Vec<NodeId> = self
-                    .channel
-                    .neighbors(u)
-                    .iter()
-                    .copied()
-                    .filter(|&r| self.alive[r] && self.is_awake(r, now) && !self.nodes[r].mac.busy)
-                    .collect();
+                // Lock in the audience: awake, not otherwise engaged. The
+                // buffer is recycled across broadcasts via receiver_pool.
+                let mut receivers = self.receiver_pool.pop().unwrap_or_default();
+                receivers.extend(
+                    self.channel
+                        .neighbors(u)
+                        .iter()
+                        .copied()
+                        .filter(|&r| self.alive[r] && self.is_awake(r, now) && !self.nodes[r].mac.busy),
+                );
                 self.channel.begin_tx(u, None, now, end);
                 self.nodes[u].mac.busy = true;
                 for &r in &receivers {
                     self.nodes[r].mac.busy = true;
                 }
                 self.nodes[u].txn = Some(Txn {
-                    kind: TxnKind::Broadcast { receivers },
-                    frame,
+                    kind: TxnKind::Broadcast { receivers, frame },
                     start: now,
                     plan: UnicastPlan::for_bytes(&self.mac_timing, bytes),
                     data_power_mw: self.card.max_tx_total_power_mw(),
@@ -580,9 +725,12 @@ impl Simulator {
         let now = self.time;
         self.channel.end_tx(u, now);
         self.nodes[u].mac.busy = false;
-        match txn.kind.clone() {
+        // The transaction is owned: destructure it instead of cloning the
+        // kind (and with it the frame) on every completion.
+        let Txn { kind, start, plan, data_power_mw } = txn;
+        match kind {
             TxnKind::RtsFail => {
-                self.charge_rts_fail(u, &txn);
+                self.charge_rts_fail(u, start);
                 self.nodes[u].mac.retries += 1;
                 if self.nodes[u].mac.retries > self.mac_timing.retry_limit {
                     let frame = self.nodes[u].mac.drop_head().expect("head still queued");
@@ -596,18 +744,18 @@ impl Simulator {
                     self.schedule_mac_tick(u, now + delay);
                 }
             }
-            TxnKind::Unicast { rx: v } => {
+            TxnKind::Unicast { rx: v, frame } => {
                 // Slotted collision: another sender inside the vulnerable
                 // window may have started over our RTS. The exchange dies
                 // at the handshake; retry with backoff.
-                let (rts_air, _, _, _) = txn.plan.segments;
-                let rts_start = txn.start + txn.plan.rts_start;
+                let (rts_air, _, _, _) = plan.segments;
+                let rts_start = start + plan.rts_start;
                 let rts_end = rts_start + rts_air;
                 if self.channel.reception_corrupted(v, u, rts_start, rts_end) {
-                    self.charge_rts_fail(u, &txn);
+                    self.charge_rts_fail(u, start);
                     self.nodes[v].mac.busy = false;
                     self.m.rts_collisions += 1;
-                    self.nodes[u].mac.push_front(txn.frame);
+                    self.nodes[u].mac.push_front(frame);
                     self.nodes[u].mac.retries += 1;
                     if self.nodes[u].mac.retries > self.mac_timing.retry_limit {
                         let frame = self.nodes[u].mac.drop_head().expect("head");
@@ -625,14 +773,13 @@ impl Simulator {
                     self.schedule_mac_tick(v, now);
                     return;
                 }
-                self.charge_unicast(u, v, &txn);
+                self.charge_unicast(u, v, start, &plan, &frame, data_power_mw);
                 self.nodes[v].mac.busy = false;
-                self.count_tx(u, &txn.frame);
-                self.pm_hooks(u, v, &txn.frame);
+                self.count_tx(u, &frame);
+                self.pm_hooks(u, v, &frame);
                 if self.psm.span_improved && self.pm[v].announced_incoming > 0 {
                     self.pm[v].announced_incoming -= 1;
                 }
-                let frame = txn.frame;
                 let actions = self.call_routing(v, |r, ctx| r.on_frame(ctx, frame));
                 self.apply_actions(v, actions);
                 self.schedule_mac_tick(u, now);
@@ -640,10 +787,10 @@ impl Simulator {
                 self.try_sleep_soon(u);
                 self.try_sleep_soon(v);
             }
-            TxnKind::Broadcast { receivers } => {
-                self.charge_broadcast(u, &receivers, &txn);
-                self.count_tx(u, &txn.frame);
-                if std::env::var_os("EEND_TRACE_BCAST").is_some() {
+            TxnKind::Broadcast { mut receivers, frame } => {
+                self.charge_broadcast(u, &receivers, start, &frame);
+                self.count_tx(u, &frame);
+                if self.trace_bcast {
                     let psm_rx = receivers
                         .iter()
                         .filter(|&&r| self.pm[r].mode == PmMode::PowerSave)
@@ -653,7 +800,7 @@ impl Simulator {
                         "bcast t={} from={} kind={:?} receivers={}/{} psm_rx={}",
                         now,
                         u,
-                        std::mem::discriminant(&txn.frame.packet.kind),
+                        std::mem::discriminant(&frame.packet.kind),
                         receivers.len(),
                         neighbors,
                         psm_rx
@@ -674,22 +821,36 @@ impl Simulator {
                         }
                     }
                 }
+                // All receivers share the same collision interval: scan
+                // the log once, then test each receiver against the
+                // (typically tiny) overlapping-sender set.
+                let mut interferers = std::mem::take(&mut self.rc_scratch);
+                self.channel.interferers_into(u, start, now, &mut interferers);
                 for &r in &receivers {
-                    if self.channel.reception_corrupted(r, u, txn.start, now) {
+                    if self.channel.any_interferer_covers(&interferers, r) {
                         self.m.broadcast_collisions += 1;
                         continue;
                     }
-                    let frame = Frame { rx: Some(r), ..txn.frame.clone() };
-                    let frame = Frame { rx: None, ..frame }; // keep broadcast flag
-                    let actions = self.call_routing(r, |rt, ctx| rt.on_frame(ctx, frame));
+                    // Every receiver reads the same frame; agents copy
+                    // packet payloads only if they forward or reply.
+                    let actions = self.call_routing(r, |rt, ctx| rt.on_broadcast(ctx, &frame));
                     self.apply_actions(r, actions);
                 }
-                self.schedule_mac_tick(u, now);
+                self.rc_scratch = interferers;
+                // One batched wake-up for the sender and its audience:
+                // the individual ticks would have held consecutive seqs.
+                let mut batch = self.tick_batch_pool.pop().unwrap_or_default();
+                self.push_tick_now(&mut batch, u);
                 for &r in &receivers {
-                    self.schedule_mac_tick(r, now);
+                    self.push_tick_now(&mut batch, r);
+                }
+                self.commit_ticks_now(batch);
+                for &r in &receivers {
                     self.try_sleep_soon(r);
                 }
                 self.try_sleep_soon(u);
+                receivers.clear();
+                self.receiver_pool.push(receivers);
             }
         }
     }
@@ -717,20 +878,28 @@ impl Simulator {
         }
     }
 
-    fn charge_unicast(&mut self, u: NodeId, v: NodeId, txn: &Txn) {
-        let (rts_at, cts_at, data_at, ack_at, end_at) = plan_at(&txn.plan, txn.start);
+    fn charge_unicast(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        start: SimTime,
+        plan: &UnicastPlan,
+        frame: &Frame,
+        data_power_mw: f64,
+    ) {
+        let (rts_at, cts_at, data_at, ack_at, end_at) = plan_at(plan, start);
         let pmax = self.card.max_tx_total_power_mw();
-        let class = if txn.frame.packet.kind.is_data() {
+        let class = if frame.packet.kind.is_data() {
             TrafficClass::Data
         } else {
             TrafficClass::Control
         };
-        self.ensure_idle(u, txn.start);
-        self.ensure_idle(v, txn.start);
+        self.ensure_idle(u, start);
+        self.ensure_idle(v, start);
         let mu = &mut self.nodes[u].meter;
         mu.begin_tx(rts_at, pmax, TrafficClass::Control);
         mu.begin_rx(cts_at, TrafficClass::Control);
-        mu.begin_tx(data_at, txn.data_power_mw, class);
+        mu.begin_tx(data_at, data_power_mw, class);
         mu.begin_rx(ack_at, TrafficClass::Control);
         mu.set_idle(end_at);
         let mv = &mut self.nodes[v].meter;
@@ -741,34 +910,34 @@ impl Simulator {
         mv.set_idle(end_at);
     }
 
-    fn charge_broadcast(&mut self, u: NodeId, receivers: &[NodeId], txn: &Txn) {
-        let start = txn.start + self.mac_timing.difs;
-        let end = txn.start
+    fn charge_broadcast(&mut self, u: NodeId, receivers: &[NodeId], txn_start: SimTime, frame: &Frame) {
+        let start = txn_start + self.mac_timing.difs;
+        let end = txn_start
             + self
                 .mac_timing
-                .broadcast_duration(txn.frame.packet.wire_bytes());
-        let class = if txn.frame.packet.kind.is_data() {
+                .broadcast_duration(frame.packet.wire_bytes());
+        let class = if frame.packet.kind.is_data() {
             TrafficClass::Data
         } else {
             TrafficClass::Control
         };
-        self.ensure_idle(u, txn.start);
+        self.ensure_idle(u, txn_start);
         let pmax = self.card.max_tx_total_power_mw();
         let mu = &mut self.nodes[u].meter;
         mu.begin_tx(start, pmax, class);
         mu.set_idle(end);
         for &r in receivers {
-            self.ensure_idle(r, txn.start);
+            self.ensure_idle(r, txn_start);
             let mr = &mut self.nodes[r].meter;
             mr.begin_rx(start, class);
             mr.set_idle(end);
         }
     }
 
-    fn charge_rts_fail(&mut self, u: NodeId, txn: &Txn) {
-        let rts_start = txn.start + self.mac_timing.difs;
+    fn charge_rts_fail(&mut self, u: NodeId, txn_start: SimTime) {
+        let rts_start = txn_start + self.mac_timing.difs;
         let rts_end = rts_start + self.mac_timing.airtime(self.mac_timing.rts_bytes);
-        self.ensure_idle(u, txn.start);
+        self.ensure_idle(u, txn_start);
         let pmax = self.card.max_tx_total_power_mw();
         let mu = &mut self.nodes[u].meter;
         mu.begin_tx(rts_start, pmax, TrafficClass::Control);
@@ -802,7 +971,7 @@ impl Simulator {
         let deadline = self.time + keepalive;
         let was = self.pm[i].mode;
         self.pm[i].mode = PmMode::ActiveMode;
-        self.pm_modes[i] = PmMode::ActiveMode;
+        self.set_pm_mode(i, PmMode::ActiveMode);
         if self.pm[i].keepalive.refresh(deadline) {
             self.queue.schedule(deadline, Event::PmKeepalive(i));
         }
@@ -820,7 +989,7 @@ impl Simulator {
         match self.pm[i].keepalive.on_fire(self.time) {
             TimerFire::Expired => {
                 self.pm[i].mode = PmMode::PowerSave;
-                self.pm_modes[i] = PmMode::PowerSave;
+                self.set_pm_mode(i, PmMode::PowerSave);
                 let actions =
                     self.call_routing(i, |r, ctx| r.on_pm_changed(ctx, PmMode::PowerSave));
                 self.apply_actions(i, actions);
@@ -860,8 +1029,7 @@ impl Simulator {
         let tb = self.time;
         self.last_beacon = tb;
         let n = self.nodes.len();
-        if std::env::var_os("EEND_TRACE_BEACONS").is_some()
-            && tb.as_nanos().is_multiple_of(30_000_000_000)
+        if self.trace_beacons && tb.as_nanos().is_multiple_of(30_000_000_000)
         {
             let am = self.pm.iter().filter(|p| p.mode == PmMode::ActiveMode).count();
             let awake_psm = (0..n)
@@ -883,21 +1051,20 @@ impl Simulator {
             }
             self.atim_cursor[i] = tb;
         }
-        // Announcements: scan queues and wake destinations.
+        // Announcements: scan queues and wake destinations. The head
+        // snapshot buffer is owned by the simulator and reused across
+        // beacons, so the scan allocates nothing in steady state.
         let atim_air = self.mac_timing.airtime(ATIM_BYTES);
         let bi = self.psm.beacon_interval;
+        let mut heads = std::mem::take(&mut self.beacon_heads);
         for u in 0..n {
             if self.nodes[u].mac.queue_is_empty() {
                 continue;
             }
-            let heads: Vec<(Option<NodeId>, bool)> = self
-                .nodes[u]
-                .mac
-                .queued()
-                .map(|f| (f.rx, f.packet.kind.is_data()))
-                .collect();
+            heads.clear();
+            heads.extend(self.nodes[u].mac.queued().map(|f| (f.rx, f.packet.kind.is_data())));
             let mut announced_any = false;
-            for (rx, _is_data) in heads {
+            for &(rx, _is_data) in &heads {
                 match rx {
                     Some(v) if self.alive[v] && self.pm[v].mode == PmMode::PowerSave => {
                         let start = self.atim_cursor[u].max(self.atim_cursor[v]);
@@ -940,19 +1107,21 @@ impl Simulator {
                     None => {
                         // Broadcast: wake the PSM neighbourhood. Baseline
                         // PSM keeps them up a full interval; Span lets
-                        // them doze after the advertised window.
-                        let neighbors: Vec<NodeId> = self.channel.neighbors(u).to_vec();
-                        for w in neighbors {
-                            if !self.alive[w] || self.pm[w].mode != PmMode::PowerSave {
+                        // them doze after the advertised window. Split
+                        // borrows walk the neighbour slice directly —
+                        // no copy of the (possibly large) list.
+                        let until = if self.psm.span_improved {
+                            tb + self.psm.atim_window + self.psm.span_window
+                        } else {
+                            tb + bi
+                        };
+                        let Simulator { channel, pm, alive, .. } = &mut *self;
+                        for &w in channel.neighbors(u) {
+                            if !alive[w] || pm[w].mode != PmMode::PowerSave {
                                 continue;
                             }
-                            let until = if self.psm.span_improved {
-                                tb + self.psm.atim_window + self.psm.span_window
-                            } else {
-                                tb + bi
-                            };
-                            if self.pm[w].awake_until < until {
-                                self.pm[w].awake_until = until;
+                            if pm[w].awake_until < until {
+                                pm[w].awake_until = until;
                             }
                         }
                         self.m.atim_tx += 1;
@@ -968,6 +1137,7 @@ impl Simulator {
                 }
             }
         }
+        self.beacon_heads = heads;
         self.queue.schedule(tb + self.psm.atim_window, Event::AtimEnd);
         self.queue.schedule(tb + bi, Event::Beacon);
     }
@@ -985,12 +1155,14 @@ impl Simulator {
                 self.try_sleep(i);
             }
         }
-        // Data phase: wake the queues.
+        // Data phase: wake the queues in one batched event.
+        let mut batch = self.tick_batch_pool.pop().unwrap_or_default();
         for i in 0..n {
             if !self.nodes[i].mac.queue_is_empty() {
-                self.schedule_mac_tick(i, now);
+                self.push_tick_now(&mut batch, i);
             }
         }
+        self.commit_ticks_now(batch);
     }
 }
 

@@ -1,0 +1,244 @@
+//! Extensional equivalence of the grid-indexed [`Channel`] against the
+//! original brute-force implementation.
+//!
+//! `BruteChannel` reproduces the pre-grid semantics verbatim — O(n²)
+//! pairwise neighbour rebuilds with `sqrt` distance comparisons, a
+//! linear scan of every live transmission per carrier-sense query, and a
+//! collision log that is **never pruned**. The properties drive both
+//! implementations through random position sets, ranges, incremental
+//! moves and transmission schedules, and require every public query to
+//! agree exactly — including neighbour-list order, which the simulator's
+//! event ordering (and therefore the golden RunMetrics snapshots)
+//! depends on.
+
+use eend_sim::{SimDuration, SimTime};
+use eend_wireless::channel::CS_RANGE_FACTOR;
+use eend_wireless::{Channel, NodeId};
+use proptest::prelude::*;
+
+const SENSE_DELAY: SimDuration = SimDuration::from_micros(20);
+
+#[derive(Debug, Clone, Copy)]
+struct Tx {
+    sender: NodeId,
+    receiver: Option<NodeId>,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// The old O(n²)/linear-scan channel, kept as the semantic reference.
+struct BruteChannel {
+    positions: Vec<(f64, f64)>,
+    range_m: f64,
+    cs_range_m: f64,
+    neighbors: Vec<Vec<NodeId>>,
+    live: Vec<Tx>,
+    log: Vec<Tx>,
+}
+
+impl BruteChannel {
+    fn new(positions: Vec<(f64, f64)>, range_m: f64) -> BruteChannel {
+        let n = positions.len();
+        let mut c = BruteChannel {
+            positions,
+            range_m,
+            cs_range_m: range_m * CS_RANGE_FACTOR,
+            neighbors: vec![Vec::new(); n],
+            live: Vec::new(),
+            log: Vec::new(),
+        };
+        c.rebuild();
+        c
+    }
+
+    fn dist(&self, u: NodeId, v: NodeId) -> f64 {
+        let (a, b) = (self.positions[u], self.positions[v]);
+        ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+    }
+
+    fn rebuild(&mut self) {
+        let n = self.positions.len();
+        self.neighbors = vec![Vec::new(); n];
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if self.dist(u, v) <= self.range_m {
+                    self.neighbors[u].push(v);
+                    self.neighbors[v].push(u);
+                }
+            }
+        }
+    }
+
+    fn set_positions(&mut self, positions: Vec<(f64, f64)>) {
+        self.positions = positions;
+        self.rebuild();
+    }
+
+    fn within_cs(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dist(a, b) <= self.cs_range_m
+    }
+
+    fn in_range(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.dist(u, v) <= self.range_m
+    }
+
+    fn busy_near(&self, u: NodeId, now: SimTime) -> bool {
+        self.live.iter().any(|t| {
+            t.start + SENSE_DELAY <= now
+                && (self.within_cs(t.sender, u)
+                    || t.receiver.is_some_and(|r| self.within_cs(r, u)))
+        })
+    }
+
+    fn busy_until(&self, u: NodeId) -> Option<SimTime> {
+        self.live
+            .iter()
+            .filter(|t| {
+                self.within_cs(t.sender, u)
+                    || t.receiver.is_some_and(|r| self.within_cs(r, u))
+            })
+            .map(|t| t.end)
+            .max()
+    }
+
+    fn covered(&self, r: NodeId) -> bool {
+        self.live.iter().any(|t| self.within_cs(t.sender, r))
+    }
+
+    fn begin_tx(&mut self, sender: NodeId, receiver: Option<NodeId>, start: SimTime, end: SimTime) {
+        let t = Tx { sender, receiver, start, end };
+        self.live.push(t);
+        self.log.push(t);
+    }
+
+    fn end_tx(&mut self, sender: NodeId, now: SimTime) {
+        self.live.retain(|t| !(t.sender == sender && t.end <= now));
+        // The reference never prunes the log: any divergence in
+        // reception_corrupted would expose an over-eager prune.
+    }
+
+    fn reception_corrupted(&self, r: NodeId, from: NodeId, start: SimTime, end: SimTime) -> bool {
+        self.log.iter().any(|t| {
+            t.sender != from
+                && t.sender != r
+                && t.start < end
+                && t.end > start
+                && self.within_cs(t.sender, r)
+        })
+    }
+}
+
+fn positions_from(raw: &[(f64, f64)], scale: f64) -> Vec<(f64, f64)> {
+    raw.iter().map(|&(x, y)| (x * scale, y * scale)).collect()
+}
+
+fn assert_geometry_agrees(grid: &Channel, brute: &BruteChannel) -> Result<(), TestCaseError> {
+    let n = brute.positions.len();
+    for u in 0..n {
+        prop_assert_eq!(
+            grid.neighbors(u),
+            brute.neighbors[u].as_slice(),
+            "neighbour list of node {} diverged",
+            u
+        );
+        for v in 0..n {
+            prop_assert_eq!(grid.in_range(u, v), brute.in_range(u, v), "in_range({}, {})", u, v);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Static geometry: neighbour sets and range predicates agree for
+    /// arbitrary deployments and ranges (degenerate grids included).
+    #[test]
+    fn static_geometry_equivalent(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..40),
+        scale in 100.0f64..4000.0,
+        range in 40.0f64..400.0,
+    ) {
+        let positions = positions_from(&raw, scale);
+        let grid = Channel::new(positions.clone(), range);
+        let brute = BruteChannel::new(positions, range);
+        assert_geometry_agrees(&grid, &brute)?;
+    }
+
+    /// Incremental moves: a long random walk of single-node moves (the
+    /// grid re-buckets incrementally) matches full rebuilds.
+    #[test]
+    fn incremental_moves_equivalent(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..25),
+        moves in proptest::collection::vec((0usize..25, 0.0f64..1.0, 0.0f64..1.0), 1..60),
+        scale in 100.0f64..3000.0,
+        range in 40.0f64..400.0,
+    ) {
+        let mut positions = positions_from(&raw, scale);
+        let mut grid = Channel::new(positions.clone(), range);
+        let mut brute = BruteChannel::new(positions.clone(), range);
+        for &(idx, x, y) in &moves {
+            let u = idx % positions.len();
+            positions[u] = (x * scale, y * scale);
+            grid.set_positions(positions.clone());
+            brute.set_positions(positions.clone());
+            assert_geometry_agrees(&grid, &brute)?;
+        }
+    }
+
+    /// Carrier sensing and collision checks: a random transmission
+    /// schedule interleaved with moves keeps busy_near / busy_until /
+    /// covered / reception_corrupted extensionally equal — with the
+    /// reference keeping its *entire* log, so any reachable entry the
+    /// batched prune drops becomes a counterexample.
+    #[test]
+    fn transmissions_equivalent(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..15),
+        schedule in proptest::collection::vec((0usize..15, 0u64..400, 1u64..30), 1..80),
+        scale in 150.0f64..2500.0,
+        range in 60.0f64..350.0,
+    ) {
+        let positions = positions_from(&raw, scale);
+        let n = positions.len();
+        let mut grid = Channel::new(positions.clone(), range);
+        let mut brute = BruteChannel::new(positions, range);
+
+        let mut clock = SimTime::ZERO;
+        for (k, &(who, gap_ms, dur_ms)) in schedule.iter().enumerate() {
+            let sender = who % n;
+            let receiver = if k % 3 == 0 { None } else { Some((who + 1 + k) % n) }
+                .filter(|&r| r != sender);
+            clock += SimDuration::from_millis(gap_ms);
+            let end = clock + SimDuration::from_millis(dur_ms);
+            grid.begin_tx(sender, receiver, clock, end);
+            brute.begin_tx(sender, receiver, clock, end);
+
+            // Query every node against both implementations mid-flight
+            // and after the transmission ends.
+            for probe in 0..n {
+                let now = clock + SimDuration::from_micros(25);
+                prop_assert_eq!(grid.busy_near(probe, now), brute.busy_near(probe, now));
+                prop_assert_eq!(grid.busy_until(probe), brute.busy_until(probe));
+                let fused = if brute.busy_near(probe, now) { brute.busy_until(probe) } else { None };
+                prop_assert_eq!(grid.sense_busy_until(probe, now), fused);
+                prop_assert_eq!(grid.covered(probe), brute.covered(probe));
+            }
+            // End every second transmission at its horizon (the other
+            // half stays live, pinning the prune floor).
+            if k % 2 == 0 {
+                grid.end_tx(sender, end);
+                brute.end_tx(sender, end);
+            }
+            for probe in 0..n {
+                for from in 0..n {
+                    prop_assert_eq!(
+                        grid.reception_corrupted(probe, from, clock, end),
+                        brute.reception_corrupted(probe, from, clock, end),
+                        "reception_corrupted({}, {}) diverged at step {}",
+                        probe, from, k
+                    );
+                }
+            }
+        }
+    }
+}

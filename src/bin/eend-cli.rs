@@ -26,12 +26,27 @@
 //! (mean ± 95 % CI) are printed. `--verify-serial` reruns the whole grid
 //! on one worker and asserts the records are byte-identical — the
 //! executor's determinism contract.
+//!
+//! Bench mode — the end-to-end performance measurement behind the
+//! `BENCH_*.json` perf records and the `perf-smoke` CI job. Runs the
+//! [`eend::wireless::presets::mobility_bench`] presets (50/100/200-node
+//! random-waypoint networks) on the campaign executor and reports
+//! runs/sec, events/sec and peak RSS:
+//!
+//! ```text
+//! eend-cli bench [--runs N] [--workers W] [--nodes 50,100,200] [--json]
+//!                [--check BENCH_FILE] [--tolerance 0.30]
+//! ```
+//!
+//! `--check` compares the measured runs/sec of every preset against the
+//! `"current"` section of a committed perf record and exits non-zero on
+//! a regression beyond the tolerance.
 
 use eend::campaign::{BaseScenario, CampaignSpec, Executor};
 use eend::radio::cards;
 use eend::sim::SimDuration;
 use eend::stats::render_figure;
-use eend::wireless::{stacks, FlowSpec, Mobility, Placement, Scenario, Simulator};
+use eend::wireless::{presets, stacks, FlowSpec, Mobility, Placement, Scenario, Simulator};
 
 struct Opts {
     stack: String,
@@ -166,13 +181,13 @@ fn split_stacks(raw: &str) -> Vec<String> {
     out
 }
 
-fn parse_list<T: std::str::FromStr>(what: &str, raw: &str) -> Vec<T> {
+fn parse_list<T: std::str::FromStr>(what: &str, raw: &str, usage: fn() -> !) -> Vec<T> {
     raw.split(',')
         .filter(|s| !s.is_empty())
         .map(|s| {
             s.trim().parse().unwrap_or_else(|_| {
                 eprintln!("error: bad {what} element {s:?}");
-                campaign_usage()
+                usage()
             })
         })
         .collect()
@@ -215,9 +230,11 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
                 })
             }
             "--stacks" => o.stacks = split_stacks(&val("--stacks")),
-            "--rates" => o.rates = Some(parse_list("--rates", &val("--rates"))),
-            "--node-counts" => o.node_counts = parse_list("--node-counts", &val("--node-counts")),
-            "--speeds" => o.speeds = parse_list("--speeds", &val("--speeds")),
+            "--rates" => o.rates = Some(parse_list("--rates", &val("--rates"), campaign_usage)),
+            "--node-counts" => {
+                o.node_counts = parse_list("--node-counts", &val("--node-counts"), campaign_usage)
+            }
+            "--speeds" => o.speeds = parse_list("--speeds", &val("--speeds"), campaign_usage),
             "--seeds" => o.seeds = val("--seeds").parse().unwrap_or_else(|_| campaign_usage()),
             "--seed-base" => {
                 o.seed_base = val("--seed-base").parse().unwrap_or_else(|_| campaign_usage())
@@ -395,11 +412,241 @@ fn run_campaign(o: CampaignOpts) {
     }
 }
 
+/// Options of the `bench` subcommand.
+struct BenchOpts {
+    runs: u64,
+    workers: Option<usize>,
+    nodes: Vec<usize>,
+    json: bool,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn bench_usage() -> ! {
+    eprintln!(
+        "usage: eend-cli bench [--runs N] [--workers W] [--nodes 50,100,200]\n\
+         \u{20}                     [--json] [--check BENCH_FILE] [--tolerance 0.30]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_bench(args: impl Iterator<Item = String>) -> BenchOpts {
+    let mut o = BenchOpts {
+        runs: 3,
+        workers: None,
+        nodes: vec![50, 100, 200],
+        json: false,
+        check: None,
+        tolerance: 0.30,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                bench_usage()
+            })
+        };
+        match a.as_str() {
+            "--runs" => o.runs = val("--runs").parse().unwrap_or_else(|_| bench_usage()),
+            "--workers" => {
+                o.workers = Some(val("--workers").parse().unwrap_or_else(|_| bench_usage()))
+            }
+            "--nodes" => o.nodes = parse_list("--nodes", &val("--nodes"), bench_usage),
+            "--json" => o.json = true,
+            "--check" => o.check = Some(val("--check")),
+            "--tolerance" => {
+                o.tolerance = val("--tolerance").parse().unwrap_or_else(|_| bench_usage())
+            }
+            "--help" | "-h" => bench_usage(),
+            other => {
+                eprintln!("error: unknown bench argument {other}");
+                bench_usage()
+            }
+        }
+    }
+    if o.runs == 0 || o.nodes.is_empty() {
+        bench_usage()
+    }
+    if !(0.0..1.0).contains(&o.tolerance) {
+        eprintln!(
+            "error: --tolerance must be a fraction in [0, 1), e.g. 0.30 for 30% (got {})",
+            o.tolerance
+        );
+        bench_usage()
+    }
+    o
+}
+
+/// Peak resident set size of this process in kB (`VmHWM`), 0 when the
+/// platform does not expose it.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|v| v.parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+struct PresetResult {
+    name: String,
+    nodes: usize,
+    runs: u64,
+    wall_s: f64,
+    runs_per_sec: f64,
+    events_per_sec: f64,
+    events_total: u64,
+    delivery_mean: f64,
+}
+
+fn run_bench(o: BenchOpts) {
+    let executor = o.workers.map(Executor::with_workers).unwrap_or_else(Executor::bounded);
+    eprintln!(
+        "bench: {} preset(s) x {} run(s) on {} worker(s)",
+        o.nodes.len(),
+        o.runs,
+        executor.workers()
+    );
+    let mut results = Vec::new();
+    for &n in &o.nodes {
+        // One deterministic scenario per seed; the executor is the same
+        // bounded pool campaigns run on, so `--workers` measures the
+        // parallel path end to end.
+        let scenarios: Vec<_> = (1..=o.runs)
+            .map(|seed| presets::mobility_bench(stacks::titan_pc(), n, seed))
+            .collect();
+        let start = std::time::Instant::now();
+        let outcomes = executor.par_map(scenarios.len(), |i| {
+            Simulator::new(&scenarios[i]).run_with_stats()
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+        let events_total: u64 = outcomes.iter().map(|(_, q)| q.scheduled_total).sum();
+        let delivery_mean = outcomes.iter().map(|(m, _)| m.delivery_ratio()).sum::<f64>()
+            / outcomes.len() as f64;
+        results.push(PresetResult {
+            name: format!("mobility{n}"),
+            nodes: n,
+            runs: o.runs,
+            wall_s,
+            runs_per_sec: o.runs as f64 / wall_s,
+            events_per_sec: events_total as f64 / wall_s,
+            events_total,
+            delivery_mean,
+        });
+    }
+
+    if o.json {
+        println!("{{");
+        println!("  \"schema\": \"eend-bench/1\",");
+        println!("  \"workers\": {},", executor.workers());
+        println!("  \"runs_per_preset\": {},", o.runs);
+        println!("  \"peak_rss_kb\": {},", peak_rss_kb());
+        println!("  \"presets\": [");
+        for (i, r) in results.iter().enumerate() {
+            println!(
+                "    {{\"name\": \"{}\", \"nodes\": {}, \"runs\": {}, \"wall_s\": {:.4}, \
+                 \"runs_per_sec\": {:.2}, \"events_per_sec\": {:.0}, \"events_total\": {}, \
+                 \"delivery_mean\": {:.4}}}{}",
+                r.name,
+                r.nodes,
+                r.runs,
+                r.wall_s,
+                r.runs_per_sec,
+                r.events_per_sec,
+                r.events_total,
+                r.delivery_mean,
+                if i + 1 < results.len() { "," } else { "" }
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        for r in &results {
+            println!(
+                "{:12} {:>7.2} runs/s  {:>12.0} events/s  ({} runs in {:.3} s, delivery {:.3})",
+                r.name, r.runs_per_sec, r.events_per_sec, r.runs, r.wall_s, r.delivery_mean
+            );
+        }
+        println!("peak RSS: {} kB", peak_rss_kb());
+    }
+
+    if let Some(path) = &o.check {
+        check_against_record(path, &results, o.tolerance);
+    }
+}
+
+/// Extracts `(preset name, runs_per_sec)` pairs from the `"current"`
+/// section of a committed perf record (falling back to the whole file
+/// when no such section exists). The records are emitted by this binary,
+/// so a line-oriented scan is sufficient — no JSON dependency.
+fn parse_record_rates(text: &str) -> Vec<(String, f64)> {
+    let scope = match text.find("\"current\"") {
+        Some(at) => &text[at..],
+        None => text,
+    };
+    let mut out = Vec::new();
+    for chunk in scope.split("\"name\":").skip(1) {
+        let Some(name) = chunk.split('"').nth(1) else { continue };
+        let Some(rate_at) = chunk.find("\"runs_per_sec\":") else { continue };
+        let tail = &chunk[rate_at + "\"runs_per_sec\":".len()..];
+        let num: String = tail
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(rate) = num.parse::<f64>() {
+            out.push((name.to_owned(), rate));
+        }
+    }
+    out
+}
+
+fn check_against_record(path: &str, results: &[PresetResult], tolerance: f64) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read perf record {path}: {e}");
+        std::process::exit(2)
+    });
+    let recorded = parse_record_rates(&text);
+    if recorded.is_empty() {
+        eprintln!("error: no preset rates found in {path}");
+        std::process::exit(2)
+    }
+    let mut failed = false;
+    for r in results {
+        let Some((_, rate)) = recorded.iter().find(|(n, _)| *n == r.name) else {
+            eprintln!("check: {:12} not in record — skipped", r.name);
+            continue;
+        };
+        let floor = rate * (1.0 - tolerance);
+        let ok = r.runs_per_sec >= floor;
+        eprintln!(
+            "check: {:12} {:>7.2} runs/s vs recorded {:>7.2} (floor {:>7.2}) {}",
+            r.name,
+            r.runs_per_sec,
+            rate,
+            floor,
+            if ok { "ok" } else { "REGRESSION" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!("check: throughput regressed more than {:.0}%", tolerance * 100.0);
+        std::process::exit(1)
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("campaign") {
         args.next();
         return run_campaign(parse_campaign(args));
+    }
+    if args.peek().map(String::as_str) == Some("bench") {
+        args.next();
+        return run_bench(parse_bench(args));
     }
     let o = parse();
     let Some(stack) = stacks::by_name(&o.stack) else {
