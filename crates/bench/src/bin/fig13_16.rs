@@ -6,23 +6,29 @@
 //! routes stabilise, freeze them, then compute `Enetwork` analytically
 //! per rate and scheduling model.
 //!
+//! Both halves run on the campaign engine: route stabilisation is one
+//! declarative `CampaignSpec` (stacks × one rate × seeds on the grid
+//! preset), and the projection study fans its stack × rate cells out on
+//! the same executor, aggregating per-seed samples through
+//! `eend_stats::grouped::StreamingAggregator`.
+//!
 //! ```text
 //! cargo run --release -p eend-bench --bin fig13_16 [-- --full]
 //! ```
 
-use eend_bench::HarnessOpts;
+use eend_bench::{figure_spec_on, HarnessOpts};
+use eend_campaign::{BaseScenario, Executor};
 use eend_sim::SimRng;
-use eend_stats::{render_figure, Series};
-use eend_wireless::{
-    presets, project, stacks, Placement, ProjectionParams, Scheduling, Simulator,
-};
+use eend_stats::grouped::StreamingAggregator;
+use eend_stats::render_figure;
+use eend_wireless::{project, stacks, Placement, ProjectionParams, Scheduling};
 
 /// Routes of every flow, per stabilisation seed.
 type SeedRoutes = Vec<Vec<Option<Vec<usize>>>>;
 
 fn main() {
     let opts = HarnessOpts::from_args(1, 3, 120);
-    let stacks = [stacks::titan_pc(),
+    let stack_list = [stacks::titan_pc(),
         stacks::dsrh_active(false),
         stacks::mtpr(false),
         stacks::mtpr(true),
@@ -32,52 +38,64 @@ fn main() {
         .positions(&mut SimRng::new(0));
     let card = eend_radio::cards::hypothetical_cabletron();
 
-    // Stabilise routes at 2 Kbit/s per stack and seed.
-    let stabilised: Vec<(String, SeedRoutes)> = stacks
-        .iter()
-        .map(|stack| {
-            let per_seed: Vec<_> = (0..opts.seeds)
-                .map(|seed| {
-                    let sc = opts.tune(presets::grid_hypothetical(stack.clone(), 2.0, seed + 1));
-                    Simulator::new(&sc).run().routes
-                })
-                .collect();
-            (stack.name.clone(), per_seed)
+    // Stabilise routes at 2 Kbit/s per stack and seed: one campaign,
+    // every (stack, seed) cell an independent job on the executor.
+    let executor = Executor::bounded();
+    let spec = figure_spec_on("fig13_16-stabilise", BaseScenario::Grid, &opts, &stack_list, &[2.0]);
+    let result = executor.run(&spec);
+    let seeds = opts.seeds as usize;
+    let stabilised: Vec<(String, SeedRoutes)> = result
+        .records
+        .chunks(seeds) // expansion order: stacks outermost, seeds innermost
+        .map(|cell| {
+            (
+                cell[0].point.stack.name.clone(),
+                cell.iter().map(|r| r.metrics.routes.clone()).collect(),
+            )
         })
         .collect();
 
     let figure = |title: &str, rates: &[f64], scheduling: Scheduling, pc_for_active: bool| {
-        let series: Vec<Series> = stabilised
-            .iter()
-            .map(|(name, per_seed)| {
-                let mut s = Series::new(name);
-                // DSR-Active runs without power control in the paper.
-                let power_control = (name != "DSR-Active") || pc_for_active;
-                for &rate in rates {
-                    let samples: Vec<f64> = per_seed
-                        .iter()
-                        .map(|routes| {
-                            project(
-                                &positions,
-                                &card,
-                                routes,
-                                &ProjectionParams {
-                                    duration_s: 900.0,
-                                    bandwidth_bps: 2e6,
-                                    rate_bps: rate * 1000.0,
-                                    power_control,
-                                    scheduling,
-                                },
-                            )
-                            .energy_goodput_bit_per_j()
-                                / 1000.0 // Kbit/J, the paper's unit
-                        })
-                        .collect();
-                    s.push(rate, &samples);
-                }
-                s
-            })
+        // The projection study's stack × rate grid, fanned out on the
+        // executor (each cell projects every stabilisation seed).
+        let cells: Vec<(usize, f64)> = (0..stabilised.len())
+            .flat_map(|s| rates.iter().map(move |&r| (s, r)))
             .collect();
+        let cell_samples: Vec<Vec<(String, f64, f64)>> = executor.par_map(cells.len(), |i| {
+            let (si, rate) = cells[i];
+            let (name, per_seed) = &stabilised[si];
+            // DSR-Active runs without power control in the paper.
+            let power_control = (name != "DSR-Active") || pc_for_active;
+            per_seed
+                .iter()
+                .map(|routes| {
+                    let goodput = project(
+                        &positions,
+                        &card,
+                        routes,
+                        &ProjectionParams {
+                            duration_s: 900.0,
+                            bandwidth_bps: 2e6,
+                            rate_bps: rate * 1000.0,
+                            power_control,
+                            scheduling,
+                        },
+                    )
+                    .energy_goodput_bit_per_j()
+                        / 1000.0; // Kbit/J, the paper's unit
+                    (name.clone(), rate, goodput)
+                })
+                .collect()
+        });
+        let mut agg = StreamingAggregator::new();
+        for (label, x, v) in cell_samples.iter().flatten() {
+            agg.push(label, *x, *v);
+        }
+        let mut series = agg.finish();
+        // finish() sorts labels; restore the paper's legend order.
+        series.sort_by_key(|s| {
+            stabilised.iter().position(|(n, _)| *n == s.label).unwrap_or(usize::MAX)
+        });
         println!("{}", render_figure(title, &series));
     };
 

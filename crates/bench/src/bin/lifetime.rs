@@ -4,17 +4,22 @@
 //! bottleneck load, and the packet simulator's stacks on projected
 //! time-to-first-death.
 //!
+//! The simulated sweep (Part 2) runs as one declarative campaign —
+//! stacks × one rate × seeds on the streaming executor; Part 1 is a
+//! deterministic two-designer comparison with no scenario sweep.
+//!
 //! ```text
 //! cargo run --release -p eend-bench --bin lifetime [-- --full]
 //! ```
 
-use eend_bench::HarnessOpts;
+use eend_bench::{figure_spec, HarnessOpts};
+use eend_campaign::Executor;
 use eend_core::design::{Designer, Heuristic};
 use eend_core::evaluate::{evaluate, EvalParams};
 use eend_core::{Demand, DesignProblem, WirelessInstance};
 use eend_sim::SimRng;
-use eend_stats::{Summary, Table};
-use eend_wireless::{presets, stacks, Simulator};
+use eend_stats::Table;
+use eend_wireless::stacks;
 
 fn main() {
     let opts = HarnessOpts::from_args(2, 5, 180);
@@ -58,25 +63,24 @@ fn main() {
     );
 
     // Part 2 — simulated stacks: projected time-to-first-death with a
-    // 1 kJ battery per node (a few AA-hours at these powers).
+    // 1 kJ battery per node (a few AA-hours at these powers). One
+    // campaign; both table columns cut from the same records.
+    let stack_list = [stacks::titan_pc(), stacks::dsr_odpm_pc(), stacks::dsr_active()];
+    let spec = figure_spec("lifetime", &opts, &stack_list, &[4.0]);
+    let result = Executor::bounded().run(&spec);
+    let life = result.series(|p| p.rate_kbps, |m| m.lifetime_to_first_death_s(1000.0));
+    let imb = result.series(|p| p.rate_kbps, |m| m.energy_imbalance());
+
     let mut t = Table::new(vec![
         "stack",
         "lifetime to first death (s)",
         "energy imbalance (max/mean)",
     ]);
-    for stack in [stacks::titan_pc(), stacks::dsr_odpm_pc(), stacks::dsr_active()] {
-        let name = stack.name.clone();
-        let (mut life, mut imb) = (Vec::new(), Vec::new());
-        for seed in 1..=opts.seeds {
-            let sc = opts.tune(presets::small_network(stack.clone(), 4.0, seed));
-            let m = Simulator::new(&sc).run();
-            life.push(m.lifetime_to_first_death_s(1000.0));
-            imb.push(m.energy_imbalance());
-        }
+    for (l, i) in life.iter().zip(&imb) {
         t.row(vec![
-            name,
-            format!("{:.0}", Summary::from_samples(&life)),
-            format!("{:.2}", Summary::from_samples(&imb)),
+            l.label.clone(),
+            format!("{:.0}", l.points[0].summary),
+            format!("{:.2}", i.points[0].summary),
         ]);
     }
     println!("Part 2 — simulated stacks (small network, 4 Kbit/s, 1 kJ batteries)\n");

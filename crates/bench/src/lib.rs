@@ -84,9 +84,9 @@ fn usage(msg: &str) -> ! {
 
 /// Builds the campaign grid a figure sweep runs on: `stacks` × `rates` ×
 /// `opts.seeds` over the paper's small-network preset, with
-/// `opts.secs_override` applied as the spec's duration. Figure binaries
-/// run the returned spec directly (as `fig8_9`, `fig10` and `fig11_12`
-/// do) or pass custom scenarios via
+/// `opts.secs_override` applied as the spec's duration. Every figure
+/// binary runs a spec built here (or via [`figure_spec_on`]) directly,
+/// or passes custom scenarios via
 /// [`eend_campaign::CampaignSpec::expand_with`].
 pub fn figure_spec(name: &str, opts: &HarnessOpts, stacks: &[ProtocolStack], rates: &[f64]) -> CampaignSpec {
     figure_spec_on(name, eend_campaign::BaseScenario::Small, opts, stacks, rates)

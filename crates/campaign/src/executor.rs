@@ -1,18 +1,32 @@
-//! Bounded parallel executor.
+//! Bounded parallel executor with a streaming output path.
 //!
 //! A fixed pool of scoped worker threads — capped at
 //! `std::thread::available_parallelism` — pulls job indices from a shared
 //! atomic counter (self-scheduling, so an unlucky long job never stalls
 //! the queue behind it). Every job is an independent, deterministic
-//! simulation, and results are reassembled in job-index order, so the
-//! output is byte-identical for any worker count — the property the
+//! simulation, and results are emitted in job-index order, so the output
+//! is byte-identical for any worker count — the property the
 //! parallel-equals-serial regression test pins.
+//!
+//! Emission is *streaming*: [`Executor::par_stream`] hands each result
+//! to a consumer callback as soon as it becomes the next in-order index,
+//! holding out-of-order completions in a reorder buffer whose size is
+//! bounded by a claim gate — a worker may only claim job `i` once
+//! `i < emitted + window`, so at most `window + workers` results ever
+//! exist outside the consumer. Peak memory of a streamed campaign is
+//! therefore O(reorder window), not O(jobs). [`Executor::run_streaming`]
+//! layers [`crate::sink::RecordSink`]s on top;
+//! [`Executor::run_jobs`]/[`Executor::par_map`] are the collect-everything
+//! conveniences, built on the same core.
 
 use crate::report::{CampaignResult, Record};
+use crate::sink::{MemorySink, RecordSink};
 use crate::spec::Job;
 use eend_wireless::Simulator;
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// A bounded worker pool for campaign jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,54 +54,210 @@ impl Executor {
         self.workers
     }
 
+    /// The default reorder window for [`Executor::run_streaming`]: deep
+    /// enough that a straggler never idles the pool, shallow enough that
+    /// buffered results stay O(workers).
+    pub fn default_window(&self) -> usize {
+        self.workers * 4
+    }
+
+    /// Runs `f(0..n)` across the pool, delivering every result to
+    /// `emit` **in index order**, as soon as it becomes the next index —
+    /// the streaming core everything else builds on.
+    ///
+    /// Out-of-order completions wait in a reorder buffer. Its size is
+    /// bounded by a claim gate: a worker may only *claim* index `i` once
+    /// `i < emitted + window`, so no more than `window + workers`
+    /// results ever exist outside `emit` (claimed-but-unemitted jobs),
+    /// regardless of how slow the job at the emission cursor is. With
+    /// `window >= n` the gate never blocks and the call degenerates to
+    /// the collect-then-sort behaviour.
+    ///
+    /// `emit` runs on the calling thread and returns whether to
+    /// continue: `false` aborts the stream — no new jobs start,
+    /// in-flight ones drain harmlessly, and `par_stream` returns early
+    /// (how a failing sink stops a long campaign immediately). A
+    /// panicking `f` likewise aborts the other workers and re-panics on
+    /// the caller instead of deadlocking the gate.
+    pub fn par_stream<T, F, E>(&self, n: usize, window: usize, f: F, mut emit: E)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        E: FnMut(usize, T) -> bool,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.workers.min(n);
+        if workers == 1 {
+            for i in 0..n {
+                let v = f(i);
+                if !emit(i, v) {
+                    return;
+                }
+            }
+            return;
+        }
+        let window = window.max(1);
+        let next = AtomicUsize::new(0);
+        // (emitted cursor, abort flag) — workers wait on this until their
+        // claimed index enters the reorder window.
+        let gate = Mutex::new((0usize, false));
+        let gate_cv = Condvar::new();
+        let raise_abort = |gate: &Mutex<(usize, bool)>, cv: &Condvar| {
+            if let Ok(mut g) = gate.lock() {
+                g.1 = true;
+            }
+            cv.notify_all();
+        };
+        /// Raises the abort flag if its worker unwinds, so a panicking
+        /// job can never strand siblings in the gate wait: they wake,
+        /// drain, drop their senders, and the consumer's `recv` fails
+        /// over to the propagation path below.
+        struct PanicFuse<'a> {
+            gate: &'a Mutex<(usize, bool)>,
+            cv: &'a Condvar,
+        }
+        impl Drop for PanicFuse<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    if let Ok(mut g) = self.gate.lock() {
+                        g.1 = true;
+                    }
+                    self.cv.notify_all();
+                }
+            }
+        }
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, gate, gate_cv, f) = (&next, &gate, &gate_cv, &f);
+                scope.spawn(move || {
+                    let _fuse = PanicFuse { gate, cv: gate_cv };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        {
+                            let mut g = gate.lock().expect("gate poisoned");
+                            while !g.1 && i >= g.0 + window {
+                                g = gate_cv.wait(g).expect("gate poisoned");
+                            }
+                            if g.1 {
+                                break; // aborted
+                            }
+                        }
+                        if tx.send((i, f(i))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // Consumer: reassemble job order through the reorder buffer.
+            let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+            let mut next_emit = 0usize;
+            'consume: while next_emit < n {
+                let Ok((i, v)) = rx.recv() else {
+                    // A worker died mid-job (its PanicFuse already woke
+                    // the others). Propagate.
+                    raise_abort(&gate, &gate_cv);
+                    panic!("campaign worker panicked");
+                };
+                pending.insert(i, v);
+                while let Some(v) = pending.remove(&next_emit) {
+                    if !emit(next_emit, v) {
+                        raise_abort(&gate, &gate_cv);
+                        break 'consume;
+                    }
+                    next_emit += 1;
+                }
+                {
+                    let mut g = gate.lock().expect("gate poisoned");
+                    g.0 = next_emit;
+                }
+                gate_cv.notify_all();
+                debug_assert!(
+                    pending.len() <= window + workers,
+                    "reorder buffer exceeded its bound: {} > {}",
+                    pending.len(),
+                    window + workers
+                );
+            }
+        });
+    }
+
     /// Runs `f(0..n)` across the pool and returns the results in index
     /// order. The pool never holds more than `min(workers, n)` OS
-    /// threads, however large `n` is.
+    /// threads, however large `n` is. Collects everything — use
+    /// [`Executor::par_stream`] when results should be consumed
+    /// incrementally.
     pub fn par_map<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        if n == 0 {
-            return Vec::new();
-        }
-        let workers = self.workers.min(n);
-        if workers == 1 {
-            return (0..n).map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break local;
-                            }
-                            local.push((i, f(i)));
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
+        let mut out = Vec::with_capacity(n);
+        // window = n: the claim gate never blocks, matching the old
+        // collect-then-sort semantics exactly.
+        self.par_stream(n, n.max(1), f, |i, v| {
+            debug_assert_eq!(i, out.len());
+            out.push(v);
+            true
         });
-        tagged.sort_unstable_by_key(|&(i, _)| i);
-        debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
-        tagged.into_iter().map(|(_, v)| v).collect()
+        out
+    }
+
+    /// Simulates every job, pushing one [`Record`] per job into `sink`
+    /// **in job order** as workers complete. Peak memory is
+    /// O([`Executor::default_window`]) records plus whatever the sink
+    /// retains — a streaming sink (CSV/JSONL/store) keeps a grid of any
+    /// size out of RAM.
+    pub fn run_streaming(&self, jobs: &[Job], sink: &mut dyn RecordSink) -> std::io::Result<()> {
+        self.run_streaming_window(jobs, self.default_window(), sink)
+    }
+
+    /// [`Executor::run_streaming`] with an explicit reorder window
+    /// (tests pin the boundedness; callers normally want the default).
+    pub fn run_streaming_window(
+        &self,
+        jobs: &[Job],
+        window: usize,
+        sink: &mut dyn RecordSink,
+    ) -> std::io::Result<()> {
+        let mut err: Option<std::io::Error> = None;
+        self.par_stream(
+            jobs.len(),
+            window,
+            |i| {
+                let job = &jobs[i];
+                Record { point: job.point.clone(), metrics: Simulator::new(&job.scenario).run() }
+            },
+            |_, record| match sink.accept(&record) {
+                Ok(()) => true,
+                Err(e) => {
+                    // First sink failure aborts the stream: no further
+                    // jobs are claimed, the error surfaces immediately.
+                    err = Some(e);
+                    false
+                }
+            },
+        );
+        match err {
+            Some(e) => Err(e),
+            None => sink.finish(),
+        }
     }
 
     /// Simulates every job and returns one [`Record`] per job, in job
-    /// order.
+    /// order (a [`MemorySink`] over the streaming path).
     pub fn run_jobs(&self, jobs: &[Job]) -> Vec<Record> {
-        self.par_map(jobs.len(), |i| {
-            let job = &jobs[i];
-            Record { point: job.point.clone(), metrics: Simulator::new(&job.scenario).run() }
-        })
+        let mut sink = MemorySink::new();
+        self.run_streaming_window(jobs, jobs.len().max(1), &mut sink)
+            .expect("in-memory sink cannot fail");
+        sink.into_records()
     }
 
     /// Expands and runs a whole campaign: [`crate::CampaignSpec::expand`]
@@ -141,5 +311,171 @@ mod tests {
     fn zero_workers_clamps_to_one() {
         assert_eq!(Executor::with_workers(0).workers(), 1);
         assert!(Executor::bounded().workers() >= 1);
+    }
+
+    #[test]
+    fn par_stream_emits_in_order_under_stragglers() {
+        // Job 0 is the slowest by far: every other job completes first
+        // and must wait in the reorder buffer, yet emission order is
+        // still 0, 1, 2, ...
+        let mut seen = Vec::new();
+        Executor::with_workers(4).par_stream(
+            32,
+            8,
+            |i| {
+                std::thread::sleep(std::time::Duration::from_micros(if i == 0 {
+                    3000
+                } else {
+                    50
+                }));
+                i * 10
+            },
+            |i, v| {
+                seen.push((i, v));
+                true
+            },
+        );
+        assert_eq!(seen, (0..32).map(|i| (i, i * 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn claim_gate_bounds_how_far_workers_run_ahead() {
+        // With job 0 stuck, no worker may *start* a job outside the
+        // reorder window: every started index i must satisfy
+        // i < emitted + window at its start instant.
+        let window = 4;
+        let workers = 4;
+        let emitted = AtomicUsize::new(0);
+        let max_overrun = AtomicUsize::new(0);
+        Executor::with_workers(workers).par_stream(
+            64,
+            window,
+            |i| {
+                let e = emitted.load(Ordering::SeqCst);
+                max_overrun.fetch_max(i.saturating_sub(e), Ordering::SeqCst);
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                i
+            },
+            |i, _| {
+                emitted.store(i + 1, Ordering::SeqCst);
+                true
+            },
+        );
+        // The emitted counter in this test lags the real cursor by at
+        // most the emit-callback race, so allow one extra slot.
+        assert!(
+            max_overrun.load(Ordering::SeqCst) <= window + 1,
+            "a worker started {} jobs past the emit cursor (window {window})",
+            max_overrun.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn streaming_matches_run_jobs_byte_for_byte() {
+        use crate::sink::{CsvSink, JsonlSink};
+        use crate::{BaseScenario, CampaignSpec};
+        use eend_wireless::stacks;
+
+        let spec = CampaignSpec::new("stream", BaseScenario::Small)
+            .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+            .rates(vec![2.0, 4.0])
+            .seeds(2)
+            .secs(20);
+        let jobs = spec.expand();
+        let reference = crate::CampaignResult {
+            campaign: spec.name.clone(),
+            records: Executor::with_workers(1).run_jobs(&jobs),
+        };
+        for workers in [1, 2, 5] {
+            let ex = Executor::with_workers(workers);
+            let mut csv = CsvSink::new(&spec.name, Vec::new());
+            // A tight window forces the reorder machinery to engage.
+            ex.run_streaming_window(&jobs, 2, &mut csv).unwrap();
+            assert_eq!(
+                String::from_utf8(csv.into_inner()).unwrap(),
+                reference.to_csv(),
+                "streamed CSV differs at {workers} workers"
+            );
+            let mut jsonl = JsonlSink::new(&spec.name, Vec::new());
+            ex.run_streaming(&jobs, &mut jsonl).unwrap();
+            assert_eq!(
+                String::from_utf8(jsonl.into_inner()).unwrap().lines().count(),
+                jobs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sink_errors_surface_from_run_streaming() {
+        use crate::{BaseScenario, CampaignSpec};
+        use eend_wireless::stacks;
+
+        struct Failing;
+        impl crate::sink::RecordSink for Failing {
+            fn accept(&mut self, _: &Record) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        let jobs = CampaignSpec::new("err", BaseScenario::Small)
+            .stacks(vec![stacks::dsr_active()])
+            .rates(vec![2.0])
+            .seeds(2)
+            .secs(10)
+            .expand();
+        let err = Executor::with_workers(2).run_streaming(&jobs, &mut Failing).unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn sink_error_aborts_the_stream_early() {
+        // An emit that refuses after the first result must stop the pool
+        // from claiming (and running) the whole job list, even with a
+        // tight window keeping the gate active.
+        let started = AtomicUsize::new(0);
+        let mut emitted = 0;
+        Executor::with_workers(3).par_stream(
+            10_000,
+            2,
+            |i| {
+                started.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                i
+            },
+            |_, _| {
+                emitted += 1;
+                false // "disk full" on the very first record
+            },
+        );
+        assert_eq!(emitted, 1);
+        let started = started.load(Ordering::SeqCst);
+        assert!(
+            started < 100,
+            "abort must stop the pool promptly; {started} jobs ran out of 10000"
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates_even_with_a_tight_window() {
+        // Job 0 panics while it is the emission cursor: with the old
+        // gate, the surviving workers would block forever waiting for
+        // the window to move. The PanicFuse must wake them and the
+        // consumer must re-panic instead of deadlocking.
+        let result = std::panic::catch_unwind(|| {
+            Executor::with_workers(4).par_stream(
+                1000,
+                2,
+                |i| {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        panic!("job 0 exploded");
+                    }
+                    i
+                },
+                |_, _| true,
+            );
+        });
+        assert!(result.is_err(), "the panic must propagate to the caller");
     }
 }

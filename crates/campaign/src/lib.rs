@@ -9,12 +9,19 @@
 //!    cartesian product into a flat, deterministically-ordered job list;
 //! 2. [`Executor`] runs the jobs on a worker pool bounded at
 //!    `available_parallelism` (or any explicit worker count) — every run
-//!    is an independent deterministic simulation, and results are
-//!    reassembled in job order, so parallel and serial execution produce
-//!    byte-identical [`Record`]s;
+//!    is an independent deterministic simulation, and records **stream**
+//!    to a [`RecordSink`] in job order through a bounded reorder window,
+//!    so parallel and serial execution produce byte-identical
+//!    [`Record`]s and peak memory is O(window), not O(jobs);
 //! 3. [`CampaignResult`] aggregates cells into
-//!    [`eend_stats::Series`] (mean/stddev/95 % CI) and exports
-//!    structured CSV/JSON.
+//!    [`eend_stats::Series`] (mean/stddev/95 % CI, incrementally via
+//!    [`eend_stats::grouped::StreamingAggregator`]) and exports
+//!    structured CSV/JSON — byte-identical whether batched or streamed
+//!    through [`CsvSink`]/[`JsonlSink`];
+//! 4. [`ResultStore`] makes a campaign durable and resumable: records
+//!    append to fingerprinted JSONL shard stores, re-runs skip completed
+//!    jobs, and [`CampaignSpec::shard`] + [`merge_stores`] spread one
+//!    grid across machines and reassemble the byte-identical result.
 //!
 //! The `eend-bench` figure binaries and the `eend-cli campaign`
 //! subcommand are thin layers over this crate.
@@ -41,8 +48,12 @@
 
 pub mod executor;
 pub mod report;
+pub mod sink;
 pub mod spec;
+pub mod store;
 
 pub use executor::Executor;
 pub use report::{metric_columns, CampaignResult, MetricColumn, Record};
+pub use sink::{CsvSink, FanoutSink, JsonlSink, MemorySink, RecordSink};
 pub use spec::{BaseScenario, CampaignSpec, FailurePlan, GridPoint, Job};
+pub use store::{fingerprint, merge_stores, Manifest, ResultStore, SpecAxes};

@@ -2,7 +2,7 @@
 //! structured CSV/JSON writers.
 
 use crate::spec::GridPoint;
-use eend_stats::{grouped::SampleRow, Series};
+use eend_stats::Series;
 use eend_wireless::RunMetrics;
 
 /// One finished job: where it sat in the grid and what it measured.
@@ -57,16 +57,14 @@ impl CampaignResult {
         x: impl Fn(&GridPoint) -> f64,
         metric: impl Fn(&RunMetrics) -> f64,
     ) -> Vec<Series> {
-        let rows: Vec<SampleRow> = self
-            .records
-            .iter()
-            .map(|r| SampleRow {
-                label: r.point.stack.name.clone(),
-                x: x(&r.point),
-                value: metric(&r.metrics),
-            })
-            .collect();
-        let mut series = eend_stats::grouped::aggregate_series(&rows);
+        // Incremental aggregation (provably equal to the batch
+        // aggregate_series): only the scalar samples are held, never a
+        // second copy of the records.
+        let mut agg = eend_stats::grouped::StreamingAggregator::new();
+        for r in &self.records {
+            agg.push(&r.point.stack.name, x(&r.point), metric(&r.metrics));
+        }
+        let mut series = agg.finish();
         // aggregate_series sorts labels for permutation independence;
         // restore the order the campaign listed its stacks in.
         let mut order: Vec<&str> = Vec::new();
@@ -81,67 +79,95 @@ impl CampaignResult {
 
     /// Renders every record as CSV: one header line, then one row per
     /// run (grid coordinates first, then every [`metric_columns`]
-    /// metric).
+    /// metric). Rendered through the same row writers the streaming
+    /// sinks use, so a [`crate::sink::CsvSink`] fed record-by-record is
+    /// byte-identical to this batch export.
     pub fn to_csv(&self) -> String {
-        let cols = metric_columns();
-        let mut out = String::from("campaign,stack,rate_kbps,nodes,speed_mps,failure,seed");
-        for (name, _) in &cols {
-            out.push(',');
-            out.push_str(name);
-        }
-        out.push('\n');
+        let mut out = String::new();
+        csv_header_into(&mut out);
         for r in &self.records {
-            let p = &r.point;
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{}",
-                csv_field(&self.campaign),
-                csv_field(&p.stack.name),
-                p.rate_kbps,
-                p.nodes,
-                p.speed_mps,
-                csv_field(&p.failure),
-                p.seed
-            ));
-            for (_, f) in &cols {
-                out.push_str(&format!(",{}", f(&r.metrics)));
-            }
-            out.push('\n');
+            csv_row_into(&mut out, &self.campaign, r);
         }
         out
     }
 
     /// Renders every record as a JSON array of flat objects (the same
     /// fields as [`CampaignResult::to_csv`], machine-readable without a
-    /// serde dependency).
+    /// serde dependency). Each object is rendered by the shared
+    /// [`json_row_into`] writer, which also backs the streaming JSONL
+    /// sink.
     pub fn to_json(&self) -> String {
-        let cols = metric_columns();
         let mut out = String::from("[\n");
         for (i, r) in self.records.iter().enumerate() {
-            let p = &r.point;
-            out.push_str("  {");
-            out.push_str(&format!(
-                "\"campaign\":{},\"stack\":{},\"rate_kbps\":{},\"nodes\":{},\
-                 \"speed_mps\":{},\"failure\":{},\"seed\":{}",
-                json_str(&self.campaign),
-                json_str(&p.stack.name),
-                json_num(p.rate_kbps),
-                p.nodes,
-                json_num(p.speed_mps),
-                json_str(&p.failure),
-                p.seed
-            ));
-            for (name, f) in &cols {
-                out.push_str(&format!(",\"{}\":{}", name, json_num(f(&r.metrics))));
-            }
-            out.push_str(if i + 1 == self.records.len() { "}\n" } else { "},\n" });
+            out.push_str("  ");
+            json_row_into(&mut out, &self.campaign, r);
+            out.push_str(if i + 1 == self.records.len() { "\n" } else { ",\n" });
         }
         out.push(']');
         out
     }
 }
 
+/// Appends the CSV header line (grid coordinates, then every
+/// [`metric_columns`] name) to `out`.
+pub fn csv_header_into(out: &mut String) {
+    out.push_str("campaign,stack,rate_kbps,nodes,speed_mps,failure,seed");
+    for (name, _) in metric_columns() {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+}
+
+/// Appends one record as a CSV row (including the trailing newline) to
+/// `out`. Text fields are quoted per RFC 4180 when they contain a
+/// delimiter, quote, or newline.
+pub fn csv_row_into(out: &mut String, campaign: &str, r: &Record) {
+    use std::fmt::Write as _;
+    let p = &r.point;
+    let _ = write!(
+        out,
+        "{},{},{},{},{},{},{}",
+        csv_field(campaign),
+        csv_field(&p.stack.name),
+        p.rate_kbps,
+        p.nodes,
+        p.speed_mps,
+        csv_field(&p.failure),
+        p.seed
+    );
+    for (_, f) in metric_columns() {
+        let _ = write!(out, ",{}", f(&r.metrics));
+    }
+    out.push('\n');
+}
+
+/// Appends one record as a flat JSON object (no trailing newline or
+/// separator) to `out` — the element type of [`CampaignResult::to_json`]
+/// and the line type of the JSONL streaming sink.
+pub fn json_row_into(out: &mut String, campaign: &str, r: &Record) {
+    use std::fmt::Write as _;
+    let p = &r.point;
+    let _ = write!(
+        out,
+        "{{\"campaign\":{},\"stack\":{},\"rate_kbps\":{},\"nodes\":{},\
+         \"speed_mps\":{},\"failure\":{},\"seed\":{}",
+        json_str(campaign),
+        json_str(&p.stack.name),
+        json_num(p.rate_kbps),
+        p.nodes,
+        json_num(p.speed_mps),
+        json_str(&p.failure),
+        p.seed
+    );
+    for (name, f) in metric_columns() {
+        let _ = write!(out, ",\"{}\":{}", name, json_num(f(&r.metrics)));
+    }
+    out.push('}');
+}
+
 /// Quotes a CSV field when it contains a delimiter, quote, or newline.
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -150,7 +176,7 @@ fn csv_field(s: &str) -> String {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -169,7 +195,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// Renders an f64 as JSON (JSON has no Infinity/NaN; map them to null).
-fn json_num(x: f64) -> String {
+pub(crate) fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -243,8 +269,64 @@ mod tests {
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");
         assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("tab\there\rcr"), "\"tab\\there\\rcr\"");
+        assert_eq!(json_str("ctl\u{1}"), "\"ctl\\u0001\"");
         assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(f64::NAN), "null");
         assert_eq!(json_num(1.5), "1.5");
+    }
+
+    #[test]
+    fn hostile_labels_survive_both_row_writers() {
+        // A stack name and failure label full of CSV/JSON specials must
+        // round-trip through the shared row writers without breaking
+        // either format's structure.
+        let mut res = tiny_result();
+        res.campaign = "camp,aign\"x".to_owned();
+        res.records.truncate(1);
+        res.records[0].point.stack.name = "evil,\"stack\"\nname".to_owned();
+        res.records[0].point.failure = "kill,3\t\"fast\"".to_owned();
+
+        let csv = res.to_csv();
+        // Quoted newline means logical row ≠ physical line; count commas
+        // at quote-depth zero instead: every row parses to the header's
+        // column count.
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        let mut cols = 1;
+        let mut in_quotes = false;
+        let body = csv.split_once('\n').unwrap().1;
+        for c in body.trim_end_matches('\n').chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => cols += 1,
+                _ => {}
+            }
+        }
+        assert!(!in_quotes, "quotes must balance");
+        assert_eq!(cols, header_cols, "quoted specials must not add columns");
+
+        let json = res.to_json();
+        assert!(json.contains("\"stack\":\"evil,\\\"stack\\\"\\nname\""));
+        assert!(json.contains("\"failure\":\"kill,3\\t\\\"fast\\\"\""));
+        // The escaped object still has exactly one brace pair.
+        assert_eq!(json.matches('{').count(), 1);
+        assert_eq!(json.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn batch_exports_are_concatenations_of_the_shared_row_writers() {
+        let res = tiny_result();
+        let mut csv = String::new();
+        csv_header_into(&mut csv);
+        for r in &res.records {
+            csv_row_into(&mut csv, &res.campaign, r);
+        }
+        assert_eq!(csv, res.to_csv());
+
+        let mut obj = String::new();
+        json_row_into(&mut obj, &res.campaign, &res.records[0]);
+        assert!(res.to_json().contains(&obj), "array elements come from json_row_into");
     }
 }

@@ -34,6 +34,17 @@ impl BaseScenario {
             _ => None,
         }
     }
+
+    /// The canonical CLI spelling ([`BaseScenario::parse`]'s inverse) —
+    /// used by store manifests to serialize the preset axis.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaseScenario::Small => "small",
+            BaseScenario::Large => "large",
+            BaseScenario::Density => "density",
+            BaseScenario::Grid => "grid",
+        }
+    }
 }
 
 /// A node-failure injection plan: one labelled set of `(second, node)`
@@ -295,6 +306,26 @@ impl CampaignSpec {
         jobs
     }
 
+    /// The jobs shard `index` of `count` is responsible for: every
+    /// `count`-th job of [`CampaignSpec::expand`], starting at `index`
+    /// (round-robin, so long and short cells spread evenly across
+    /// machines). Each [`Job`] keeps its **global** expansion index, so
+    /// shard result stores can be merged back into the full campaign by
+    /// job id. The union of all `count` shards is exactly `expand()`;
+    /// shards are pairwise disjoint.
+    ///
+    /// Combine with [`CampaignSpec::seed_base`] to also split seed
+    /// ranges across machines without overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count == 0` or `index >= count`.
+    pub fn shard(&self, index: usize, count: usize) -> Vec<Job> {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index {index} out of range for {count} shards");
+        self.expand().into_iter().filter(|j| j.index % count == index).collect()
+    }
+
     fn default_rate(&self) -> f64 {
         // The paper's density study and most single-rate setups run at
         // 4 Kbit/s.
@@ -383,6 +414,23 @@ mod tests {
         for j in &jobs {
             assert_eq!(j.scenario.placement.node_count(), j.point.nodes);
         }
+    }
+
+    #[test]
+    fn shards_partition_the_expansion() {
+        let spec = CampaignSpec::new("t", BaseScenario::Small)
+            .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+            .rates(vec![2.0, 4.0])
+            .seeds(3);
+        let all = spec.expand();
+        for count in [1, 2, 3, 5] {
+            let mut union: Vec<Job> = (0..count).flat_map(|i| spec.shard(i, count)).collect();
+            union.sort_by_key(|j| j.index);
+            assert_eq!(union, all, "shards must partition the job list at count={count}");
+        }
+        // Jobs keep their global index.
+        let shard1 = spec.shard(1, 3);
+        assert!(shard1.iter().all(|j| j.index % 3 == 1));
     }
 
     #[test]

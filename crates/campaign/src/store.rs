@@ -1,0 +1,1123 @@
+//! Resumable on-disk result store and multi-machine shard merging.
+//!
+//! A [`ResultStore`] is a directory holding one campaign's (or one
+//! campaign *shard's*) results durably:
+//!
+//! - `manifest.json` — campaign name, a deterministic **fingerprint**
+//!   of the expanded job list, the total job count, which shard of how
+//!   many this store holds, and (for CLI-launched campaigns) the spec
+//!   axes, so `eend-cli campaign merge` can re-expand the grid without
+//!   re-stating it;
+//! - `records.jsonl` — one appended JSON line per finished job, keyed
+//!   by the job's global expansion index and carrying the **full**
+//!   [`RunMetrics`], written through the streaming executor in job
+//!   order and flushed per record.
+//!
+//! Because every line is self-delimiting and flushed, a killed process
+//! loses at most one partial trailing line — which
+//! [`ResultStore::open`] detects and ignores. Re-opening the store
+//! against the same spec (the fingerprint check refuses a different
+//! one) and calling [`ResultStore::run`] again simulates **only the
+//! missing jobs**: an interrupted-then-resumed campaign reassembles to
+//! the byte-identical [`CampaignResult`] a one-shot run produces.
+//!
+//! Sharding composes with this: `CampaignSpec::shard(i, n)` slices the
+//! job list round-robin, each machine runs its slice into its own
+//! store, and [`merge_stores`] reassembles the shards into one result,
+//! verifying the fingerprints agree and every job is covered exactly
+//! once.
+
+use crate::executor::Executor;
+use crate::report::{json_num, json_str, CampaignResult, Record};
+use crate::sink::RecordSink;
+use crate::spec::{BaseScenario, CampaignSpec, Job};
+use eend_radio::EnergyReport;
+use eend_sim::SimDuration;
+use eend_wireless::{stacks, RunMetrics};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside a store directory.
+const MANIFEST_FILE: &str = "manifest.json";
+/// Record shard file name inside a store directory.
+const RECORDS_FILE: &str = "records.jsonl";
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------------
+// Fingerprinting.
+
+/// A deterministic fingerprint of an expanded campaign: FNV-1a over the
+/// campaign name and every job's grid coordinates, seed, and duration.
+/// Two machines that expand the same spec compute the same fingerprint;
+/// any change to an axis, a seed range, or the horizon changes it —
+/// which is how a store refuses to resume under a different spec.
+pub fn fingerprint(campaign: &str, jobs: &[Job]) -> u64 {
+    let mut h = Fnv::new();
+    h.str(campaign);
+    h.u64(jobs.len() as u64);
+    for j in jobs {
+        h.u64(j.index as u64);
+        h.str(&j.point.stack.name);
+        h.u64(j.point.rate_kbps.to_bits());
+        h.u64(j.point.nodes as u64);
+        h.u64(j.point.speed_mps.to_bits());
+        h.str(&j.point.failure);
+        h.u64(j.point.seed);
+        h.u64(j.scenario.duration.as_nanos());
+        // The failure *label* above is free text — hash the actual kill
+        // schedule too, or two plans with the same label would collide
+        // and a store would resume under different failure injections.
+        h.u64(j.scenario.node_failures.len() as u64);
+        for &(at, node) in &j.scenario.node_failures {
+            h.u64(at.as_nanos());
+            h.u64(node as u64);
+        }
+    }
+    h.finish()
+}
+
+/// FNV-1a, 64-bit: tiny, stable across platforms, good enough to tell
+/// two campaign grids apart.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spec axes (the CLI-expressible subset of a CampaignSpec).
+
+/// The axes of a CLI-launched campaign, as stored in a manifest so that
+/// `merge` (and a resume on another machine) can rebuild the spec
+/// without the user re-stating it. Stacks are stored by name and
+/// resolved through [`eend_wireless::stacks::by_name`]; campaigns built
+/// around custom [`crate::spec::CampaignSpec::expand_with`] builders
+/// cannot be represented here and use the job-list APIs directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecAxes {
+    /// Preset family ([`BaseScenario::name`] spelling).
+    pub preset: String,
+    /// Stack names, in sweep order.
+    pub stacks: Vec<String>,
+    /// Rate axis (Kbit/s); empty = preset default.
+    pub rates: Vec<f64>,
+    /// Node-count axis (density preset only).
+    pub node_counts: Vec<usize>,
+    /// Mobility-speed axis (m/s).
+    pub speeds: Vec<f64>,
+    /// Seeded runs per cell.
+    pub seeds: u64,
+    /// Seed offset.
+    pub seed_base: u64,
+    /// Duration override in seconds.
+    pub secs: Option<u64>,
+}
+
+impl SpecAxes {
+    /// Captures the axes of `spec` (stacks by name). Failure plans are
+    /// not CLI-expressible and must be empty.
+    pub fn of(spec: &CampaignSpec) -> Option<SpecAxes> {
+        if !spec.failures.is_empty() {
+            return None;
+        }
+        Some(SpecAxes {
+            preset: spec.base.name().to_owned(),
+            stacks: spec.stacks.iter().map(|s| s.name.clone()).collect(),
+            rates: spec.rates_kbps.clone(),
+            node_counts: spec.node_counts.clone(),
+            speeds: spec.speeds_mps.clone(),
+            seeds: spec.seed_count,
+            seed_base: spec.seed_base,
+            secs: spec.secs,
+        })
+    }
+
+    /// Rebuilds the [`CampaignSpec`] these axes describe.
+    pub fn to_spec(&self, campaign: &str) -> io::Result<CampaignSpec> {
+        let base = BaseScenario::parse(&self.preset)
+            .ok_or_else(|| bad_data(format!("manifest names unknown preset {:?}", self.preset)))?;
+        let mut stack_list = Vec::with_capacity(self.stacks.len());
+        for name in &self.stacks {
+            stack_list.push(stacks::by_name(name).ok_or_else(|| {
+                bad_data(format!("manifest names unknown stack {name:?}"))
+            })?);
+        }
+        let mut spec = CampaignSpec::new(campaign, base)
+            .stacks(stack_list)
+            .rates(self.rates.clone())
+            .node_counts(self.node_counts.clone())
+            .speeds(self.speeds.clone())
+            .seeds(self.seeds)
+            .seed_base(self.seed_base);
+        if let Some(secs) = self.secs {
+            spec = spec.secs(secs);
+        }
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest.
+
+/// The identity of a store: which campaign, which expansion (by
+/// fingerprint), and which shard of it this directory holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Campaign name.
+    pub campaign: String,
+    /// [`fingerprint`] of the **full** expanded job list (all shards).
+    pub fingerprint: u64,
+    /// Job count of the full expansion.
+    pub total_jobs: usize,
+    /// Which shard this store holds (0-based).
+    pub shard_index: usize,
+    /// Of how many shards (1 = unsharded).
+    pub shard_count: usize,
+    /// CLI-expressible axes, when the campaign has them.
+    pub axes: Option<SpecAxes>,
+}
+
+impl Manifest {
+    /// The manifest of shard `index`/`count` of `spec` (use `(0, 1)`
+    /// for an unsharded store). Captures the axes when expressible.
+    pub fn for_spec(spec: &CampaignSpec, index: usize, count: usize) -> Manifest {
+        assert!(count > 0 && index < count, "bad shard {index}/{count}");
+        let jobs = spec.expand();
+        Manifest {
+            campaign: spec.name.clone(),
+            fingerprint: fingerprint(&spec.name, &jobs),
+            total_jobs: jobs.len(),
+            shard_index: index,
+            shard_count: count,
+            axes: SpecAxes::of(spec),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"version\":1,\"campaign\":{},\"fingerprint\":\"{:016x}\",\
+             \"total_jobs\":{},\"shard_index\":{},\"shard_count\":{}",
+            json_str(&self.campaign),
+            self.fingerprint,
+            self.total_jobs,
+            self.shard_index,
+            self.shard_count
+        );
+        match &self.axes {
+            None => s.push_str(",\"axes\":null"),
+            Some(a) => {
+                let _ = write!(
+                    s,
+                    ",\"axes\":{{\"preset\":{},\"stacks\":[{}],\"rates\":[{}],\
+                     \"node_counts\":[{}],\"speeds\":[{}],\"seeds\":{},\"seed_base\":{},\
+                     \"secs\":{}}}",
+                    json_str(&a.preset),
+                    a.stacks.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(","),
+                    a.rates.iter().map(|r| json_num(*r)).collect::<Vec<_>>().join(","),
+                    a.node_counts.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
+                    a.speeds.iter().map(|v| json_num(*v)).collect::<Vec<_>>().join(","),
+                    a.seeds,
+                    a.seed_base,
+                    match a.secs {
+                        Some(v) => v.to_string(),
+                        None => "null".to_owned(),
+                    }
+                );
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    fn from_json(text: &str) -> io::Result<Manifest> {
+        let v = parse_json(text)?;
+        let fp_hex = v.get("fingerprint")?.str()?;
+        let fingerprint = u64::from_str_radix(fp_hex, 16)
+            .map_err(|_| bad_data(format!("bad fingerprint {fp_hex:?}")))?;
+        let axes = match v.get("axes")? {
+            JVal::Null => None,
+            a => Some(SpecAxes {
+                preset: a.get("preset")?.str()?.to_owned(),
+                stacks: a
+                    .get("stacks")?
+                    .arr()?
+                    .iter()
+                    .map(|s| s.str().map(str::to_owned))
+                    .collect::<io::Result<_>>()?,
+                rates: a.get("rates")?.arr()?.iter().map(|x| x.f64()).collect::<io::Result<_>>()?,
+                node_counts: a
+                    .get("node_counts")?
+                    .arr()?
+                    .iter()
+                    .map(|x| x.usize())
+                    .collect::<io::Result<_>>()?,
+                speeds: a.get("speeds")?.arr()?.iter().map(|x| x.f64()).collect::<io::Result<_>>()?,
+                seeds: a.get("seeds")?.u64()?,
+                seed_base: a.get("seed_base")?.u64()?,
+                secs: match a.get("secs")? {
+                    JVal::Null => None,
+                    x => Some(x.u64()?),
+                },
+            }),
+        };
+        Ok(Manifest {
+            campaign: v.get("campaign")?.str()?.to_owned(),
+            fingerprint,
+            total_jobs: v.get("total_jobs")?.usize()?,
+            shard_index: v.get("shard_index")?.usize()?,
+            shard_count: v.get("shard_count")?.usize()?,
+            axes,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The store.
+
+/// One campaign shard's durable results. See the [module docs](self).
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    completed: BTreeSet<usize>,
+}
+
+impl ResultStore {
+    /// Opens (or creates) the store at `dir` for the campaign `manifest`
+    /// describes.
+    ///
+    /// A fresh directory is initialised with the manifest. An existing
+    /// one must carry the **same** manifest — same fingerprint, shard,
+    /// and job count — otherwise the store refuses with
+    /// [`io::ErrorKind::InvalidData`]: resuming a campaign under a
+    /// different spec would silently mix incompatible records.
+    /// Completed job ids are recovered from `records.jsonl`; a partial
+    /// trailing line (the footprint of a killed process) is ignored.
+    pub fn open(dir: impl AsRef<Path>, manifest: Manifest) -> io::Result<ResultStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            let existing = Manifest::from_json(&std::fs::read_to_string(&manifest_path)?)?;
+            if existing.fingerprint != manifest.fingerprint
+                || existing.total_jobs != manifest.total_jobs
+                || existing.shard_index != manifest.shard_index
+                || existing.shard_count != manifest.shard_count
+                || existing.campaign != manifest.campaign
+            {
+                return Err(bad_data(format!(
+                    "store at {} belongs to campaign {:?} (fingerprint {:016x}, \
+                     {} jobs, shard {}/{}) — refusing to resume campaign {:?} \
+                     (fingerprint {:016x}, {} jobs, shard {}/{})",
+                    dir.display(),
+                    existing.campaign,
+                    existing.fingerprint,
+                    existing.total_jobs,
+                    existing.shard_index,
+                    existing.shard_count,
+                    manifest.campaign,
+                    manifest.fingerprint,
+                    manifest.total_jobs,
+                    manifest.shard_index,
+                    manifest.shard_count,
+                )));
+            }
+        } else {
+            std::fs::write(&manifest_path, manifest.to_json())?;
+        }
+        let mut store = ResultStore { dir, manifest, completed: BTreeSet::new() };
+        store.scan_completed()?;
+        Ok(store)
+    }
+
+    /// Opens a store that already exists, trusting its on-disk manifest
+    /// (the entry point for `merge`, which learns the campaign *from*
+    /// the stores). Prefer [`ResultStore::open`] when the expected spec
+    /// is known — it cross-checks the fingerprint.
+    pub fn open_existing(dir: impl AsRef<Path>) -> io::Result<ResultStore> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = Manifest::from_json(&std::fs::read_to_string(&manifest_path).map_err(
+            |e| io::Error::new(e.kind(), format!("no store manifest at {}: {e}", manifest_path.display())),
+        )?)?;
+        let mut store = ResultStore { dir, manifest, completed: BTreeSet::new() };
+        store.scan_completed()?;
+        Ok(store)
+    }
+
+    /// The manifest this store was opened with.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Global job ids with durable records.
+    pub fn completed(&self) -> &BTreeSet<usize> {
+        &self.completed
+    }
+
+    /// Re-scans `records.jsonl` for completed job ids. Unparsable
+    /// content is tolerated only as the final line (a torn append from
+    /// a killed writer); it is **truncated away** so the resumed
+    /// writer's first append starts on a clean line. Corruption earlier
+    /// in the file is an error.
+    fn scan_completed(&mut self) -> io::Result<()> {
+        self.completed.clear();
+        let path = self.dir.join(RECORDS_FILE);
+        if !path.exists() {
+            return Ok(());
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let lines: Vec<&str> = text.split('\n').collect();
+        let mut good_bytes = 0u64;
+        for (li, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                good_bytes += line.len() as u64 + 1;
+                continue;
+            }
+            let torn_tail = li + 1 == lines.len(); // no trailing '\n': torn write
+            match parse_json(line).and_then(|v| v.get("job")?.usize()) {
+                Ok(id) if id < self.manifest.total_jobs => {
+                    self.completed.insert(id);
+                    if torn_tail {
+                        // The record is complete but the kill landed
+                        // between its bytes and the newline: restore the
+                        // terminator so the next append starts on a
+                        // fresh line instead of gluing onto this one.
+                        OpenOptions::new().append(true).open(&path)?.write_all(b"\n")?;
+                    }
+                    good_bytes += line.len() as u64 + 1;
+                }
+                Ok(id) => {
+                    return Err(bad_data(format!(
+                        "record for job {id} out of range ({} total)",
+                        self.manifest.total_jobs
+                    )))
+                }
+                Err(e) if torn_tail => {
+                    // The killed writer's half-written last line: chop it
+                    // off so the job re-runs and re-appends cleanly.
+                    let _ = e;
+                    OpenOptions::new().write(true).open(&path)?.set_len(good_bytes)?;
+                }
+                Err(e) => {
+                    return Err(bad_data(format!(
+                        "corrupt record line {} in {}: {e}",
+                        li + 1,
+                        path.display()
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// This shard's jobs that still lack a durable record, in job order.
+    pub fn pending(&self, shard_jobs: &[Job]) -> Vec<Job> {
+        shard_jobs.iter().filter(|j| !self.completed.contains(&j.index)).cloned().collect()
+    }
+
+    /// `true` when every job of `shard_jobs` has a durable record.
+    pub fn is_complete(&self, shard_jobs: &[Job]) -> bool {
+        shard_jobs.iter().all(|j| self.completed.contains(&j.index))
+    }
+
+    /// Simulates every *missing* job of this shard on `executor`,
+    /// appending each record durably (flushed per record) as it streams
+    /// out in job order, and returns how many jobs actually ran.
+    /// Already-completed jobs are skipped — calling this after an
+    /// interruption finishes exactly the remainder. `limit` caps how
+    /// many pending jobs run (used by the resume smoke test to simulate
+    /// an interruption deterministically).
+    ///
+    /// `shard_jobs` must be this store's shard slice of the campaign
+    /// (`CampaignSpec::shard(shard_index, shard_count)`).
+    pub fn run(
+        &mut self,
+        executor: &Executor,
+        shard_jobs: &[Job],
+        limit: Option<usize>,
+    ) -> io::Result<usize> {
+        let (idx, cnt) = (self.manifest.shard_index, self.manifest.shard_count);
+        for j in shard_jobs {
+            if j.index % cnt != idx {
+                return Err(bad_data(format!(
+                    "job {} does not belong to shard {idx}/{cnt}",
+                    j.index
+                )));
+            }
+        }
+        let mut todo = self.pending(shard_jobs);
+        if let Some(limit) = limit {
+            todo.truncate(limit);
+        }
+        if todo.is_empty() {
+            return Ok(0);
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(RECORDS_FILE))?;
+        let ids: Vec<usize> = todo.iter().map(|j| j.index).collect();
+        let mut sink = StoreSink {
+            w: BufWriter::new(file),
+            ids: &ids,
+            cursor: 0,
+            completed: &mut self.completed,
+        };
+        executor.run_streaming(&todo, &mut sink)?;
+        Ok(ids.len())
+    }
+
+    /// Loads every durable record's metrics, keyed by global job id.
+    /// When `verify_against` is given (the full expansion), each
+    /// record's stored stack name and seed are cross-checked against the
+    /// job it claims to be.
+    pub fn load_metrics(
+        &self,
+        verify_against: Option<&[Job]>,
+    ) -> io::Result<BTreeMap<usize, RunMetrics>> {
+        let mut out = BTreeMap::new();
+        let path = self.dir.join(RECORDS_FILE);
+        if !path.exists() {
+            return Ok(out);
+        }
+        let reader = BufReader::new(File::open(&path)?);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(v) = parse_json(&line) else { continue }; // torn tail
+            let id = v.get("job")?.usize()?;
+            if let Some(jobs) = verify_against {
+                let job = jobs.get(id).ok_or_else(|| {
+                    bad_data(format!("record for job {id} out of range ({} jobs)", jobs.len()))
+                })?;
+                verify_line_identity(&v, job)?;
+            }
+            let metrics = metrics_from_json(v.get("metrics")?)?;
+            out.insert(id, metrics);
+        }
+        Ok(out)
+    }
+
+    /// Reassembles this (unsharded) store into a [`CampaignResult`] —
+    /// shorthand for [`merge_stores`] over one store. `jobs` must be the
+    /// full expansion the store was created from.
+    pub fn assemble(&self, jobs: &[Job]) -> io::Result<CampaignResult> {
+        merge_stores(&[self], jobs)
+    }
+}
+
+/// The sink [`ResultStore::run`] streams into: appends one JSONL record
+/// per job (flushing each, so a kill loses at most a partial line) and
+/// marks the id completed.
+struct StoreSink<'a> {
+    w: BufWriter<File>,
+    ids: &'a [usize],
+    cursor: usize,
+    completed: &'a mut BTreeSet<usize>,
+}
+
+impl RecordSink for StoreSink<'_> {
+    fn accept(&mut self, record: &Record) -> io::Result<()> {
+        let id = self.ids[self.cursor];
+        self.cursor += 1;
+        let mut line = String::new();
+        record_line_into(&mut line, id, record);
+        self.w.write_all(line.as_bytes())?;
+        self.w.flush()?;
+        self.completed.insert(id);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// Merges shard stores back into one in-order [`CampaignResult`].
+///
+/// All stores must carry the same fingerprint and job count as `jobs`
+/// (the full expansion), and together they must cover every job exactly
+/// once. Each record's stored stack name and seed are cross-checked
+/// against the job list as defence in depth.
+pub fn merge_stores(stores: &[&ResultStore], jobs: &[Job]) -> io::Result<CampaignResult> {
+    let first = stores.first().ok_or_else(|| bad_data("no stores to merge"))?;
+    let campaign = first.manifest.campaign.clone();
+    let fp = fingerprint(&campaign, jobs);
+    let mut metrics: BTreeMap<usize, RunMetrics> = BTreeMap::new();
+    for store in stores {
+        let m = &store.manifest;
+        if m.fingerprint != fp || m.total_jobs != jobs.len() || m.campaign != campaign {
+            return Err(bad_data(format!(
+                "store at {} (campaign {:?}, fingerprint {:016x}, {} jobs) does not \
+                 match the expansion being merged (campaign {:?}, fingerprint {fp:016x}, \
+                 {} jobs)",
+                store.dir.display(),
+                m.campaign,
+                m.fingerprint,
+                m.total_jobs,
+                campaign,
+                jobs.len(),
+            )));
+        }
+        for (id, rm) in store.load_metrics(Some(jobs))? {
+            if metrics.insert(id, rm).is_some() {
+                return Err(bad_data(format!("job {id} appears in more than one store")));
+            }
+        }
+    }
+    let mut records = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let rm = metrics.remove(&job.index).ok_or_else(|| {
+            bad_data(format!(
+                "job {} ({}, seed {}) has no record in any store — campaign incomplete",
+                job.index, job.point.stack.name, job.point.seed
+            ))
+        })?;
+        records.push(Record { point: job.point.clone(), metrics: rm });
+    }
+    Ok(CampaignResult { campaign, records })
+}
+
+// ---------------------------------------------------------------------
+// Record (de)serialization.
+
+fn energy_report_into(out: &mut String, r: &EnergyReport) {
+    let _ = write!(
+        out,
+        "[{},{},{},{},{},{},{},{},{},{},{},{}]",
+        json_num(r.idle_mj),
+        json_num(r.sleep_mj),
+        json_num(r.switch_mj),
+        json_num(r.tx_data_mj),
+        json_num(r.tx_ctrl_mj),
+        json_num(r.rx_data_mj),
+        json_num(r.rx_ctrl_mj),
+        r.time_tx.as_nanos(),
+        r.time_rx.as_nanos(),
+        r.time_idle.as_nanos(),
+        r.time_sleep.as_nanos(),
+        r.wakeups
+    );
+}
+
+fn energy_report_from(v: &JVal) -> io::Result<EnergyReport> {
+    let a = v.arr()?;
+    if a.len() != 12 {
+        return Err(bad_data(format!("energy report needs 12 fields, got {}", a.len())));
+    }
+    Ok(EnergyReport {
+        idle_mj: a[0].f64()?,
+        sleep_mj: a[1].f64()?,
+        switch_mj: a[2].f64()?,
+        tx_data_mj: a[3].f64()?,
+        tx_ctrl_mj: a[4].f64()?,
+        rx_data_mj: a[5].f64()?,
+        rx_ctrl_mj: a[6].f64()?,
+        time_tx: SimDuration::from_nanos(a[7].u64()?),
+        time_rx: SimDuration::from_nanos(a[8].u64()?),
+        time_idle: SimDuration::from_nanos(a[9].u64()?),
+        time_sleep: SimDuration::from_nanos(a[10].u64()?),
+        wakeups: a[11].u64()?,
+    })
+}
+
+/// Renders one store line: global job id, the point's identity
+/// (cross-checked on merge), and the complete metrics. All f64s use
+/// Rust's shortest-round-trip formatting, so parsing restores the exact
+/// bit pattern and the reassembled result is byte-identical to an
+/// in-memory run.
+fn record_line_into(out: &mut String, id: usize, record: &Record) {
+    let p = &record.point;
+    let m = &record.metrics;
+    let _ = write!(
+        out,
+        "{{\"job\":{id},\"stack\":{},\"seed\":{},\"metrics\":{{",
+        json_str(&p.stack.name),
+        p.seed
+    );
+    let _ = write!(
+        out,
+        "\"data_sent\":{},\"data_delivered\":{},\"delivered_bits\":{},\
+         \"drops_no_route\":{},\"drops_link_failure\":{},\"drops_buffer\":{},\
+         \"drops_ifq\":{},\"rreq_tx\":{},\"rrep_tx\":{},\"rerr_tx\":{},\
+         \"dsdv_update_tx\":{},\"atim_tx\":{},\"broadcast_collisions\":{},\
+         \"rts_collisions\":{},\"link_failures\":{},\"data_forwarders\":{},\
+         \"duration_s\":{}",
+        m.data_sent,
+        m.data_delivered,
+        json_num(m.delivered_bits),
+        m.drops_no_route,
+        m.drops_link_failure,
+        m.drops_buffer,
+        m.drops_ifq,
+        m.rreq_tx,
+        m.rrep_tx,
+        m.rerr_tx,
+        m.dsdv_update_tx,
+        m.atim_tx,
+        m.broadcast_collisions,
+        m.rts_collisions,
+        m.link_failures,
+        m.data_forwarders,
+        json_num(m.duration_s)
+    );
+    out.push_str(",\"energy_total\":");
+    energy_report_into(out, &m.energy_total);
+    out.push_str(",\"per_node_energy\":[");
+    for (i, r) in m.per_node_energy.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        energy_report_into(out, r);
+    }
+    out.push_str("],\"routes\":[");
+    for (i, route) in m.routes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match route {
+            None => out.push_str("null"),
+            Some(hops) => {
+                out.push('[');
+                for (k, h) in hops.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{h}");
+                }
+                out.push(']');
+            }
+        }
+    }
+    out.push_str("]}}\n");
+}
+
+fn metrics_from_json(v: &JVal) -> io::Result<RunMetrics> {
+    Ok(RunMetrics {
+        data_sent: v.get("data_sent")?.u64()?,
+        data_delivered: v.get("data_delivered")?.u64()?,
+        delivered_bits: v.get("delivered_bits")?.f64()?,
+        drops_no_route: v.get("drops_no_route")?.u64()?,
+        drops_link_failure: v.get("drops_link_failure")?.u64()?,
+        drops_buffer: v.get("drops_buffer")?.u64()?,
+        drops_ifq: v.get("drops_ifq")?.u64()?,
+        rreq_tx: v.get("rreq_tx")?.u64()?,
+        rrep_tx: v.get("rrep_tx")?.u64()?,
+        rerr_tx: v.get("rerr_tx")?.u64()?,
+        dsdv_update_tx: v.get("dsdv_update_tx")?.u64()?,
+        atim_tx: v.get("atim_tx")?.u64()?,
+        broadcast_collisions: v.get("broadcast_collisions")?.u64()?,
+        rts_collisions: v.get("rts_collisions")?.u64()?,
+        link_failures: v.get("link_failures")?.u64()?,
+        per_node_energy: v
+            .get("per_node_energy")?
+            .arr()?
+            .iter()
+            .map(energy_report_from)
+            .collect::<io::Result<_>>()?,
+        energy_total: energy_report_from(v.get("energy_total")?)?,
+        data_forwarders: v.get("data_forwarders")?.usize()?,
+        routes: v
+            .get("routes")?
+            .arr()?
+            .iter()
+            .map(|r| match r {
+                JVal::Null => Ok(None),
+                _ => Ok(Some(r.arr()?.iter().map(|h| h.usize()).collect::<io::Result<_>>()?)),
+            })
+            .collect::<io::Result<_>>()?,
+        duration_s: v.get("duration_s")?.f64()?,
+    })
+}
+
+/// Cross-checks a stored line's identity against the job it claims to
+/// be (used by the store tests; merge calls it per record).
+pub(crate) fn verify_line_identity(v: &JVal, job: &Job) -> io::Result<()> {
+    let stack = v.get("stack")?.str()?;
+    let seed = v.get("seed")?.u64()?;
+    if stack != job.point.stack.name || seed != job.point.seed {
+        return Err(bad_data(format!(
+            "record for job {} claims ({stack:?}, seed {seed}) but the spec expands to \
+             ({:?}, seed {})",
+            job.index, job.point.stack.name, job.point.seed
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON.
+
+/// A parsed JSON value. Numbers keep their raw token so u64s round-trip
+/// without an f64 detour and f64s restore their exact bit pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JVal {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    fn type_name(&self) -> &'static str {
+        match self {
+            JVal::Null => "null",
+            JVal::Bool(_) => "bool",
+            JVal::Num(_) => "number",
+            JVal::Str(_) => "string",
+            JVal::Arr(_) => "array",
+            JVal::Obj(_) => "object",
+        }
+    }
+
+    pub(crate) fn get(&self, key: &str) -> io::Result<&JVal> {
+        let JVal::Obj(pairs) = self else {
+            return Err(bad_data(format!("expected object with {key:?}, got {}", self.type_name())));
+        };
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| bad_data(format!("missing key {key:?}")))
+    }
+
+    pub(crate) fn str(&self) -> io::Result<&str> {
+        match self {
+            JVal::Str(s) => Ok(s),
+            other => Err(bad_data(format!("expected string, got {}", other.type_name()))),
+        }
+    }
+
+    pub(crate) fn arr(&self) -> io::Result<&[JVal]> {
+        match self {
+            JVal::Arr(a) => Ok(a),
+            other => Err(bad_data(format!("expected array, got {}", other.type_name()))),
+        }
+    }
+
+    pub(crate) fn u64(&self) -> io::Result<u64> {
+        match self {
+            JVal::Num(raw) => {
+                raw.parse().map_err(|_| bad_data(format!("expected u64, got {raw:?}")))
+            }
+            other => Err(bad_data(format!("expected number, got {}", other.type_name()))),
+        }
+    }
+
+    pub(crate) fn usize(&self) -> io::Result<usize> {
+        self.u64().map(|v| v as usize)
+    }
+
+    pub(crate) fn f64(&self) -> io::Result<f64> {
+        match self {
+            JVal::Num(raw) => {
+                raw.parse().map_err(|_| bad_data(format!("expected f64, got {raw:?}")))
+            }
+            other => Err(bad_data(format!("expected number, got {}", other.type_name()))),
+        }
+    }
+}
+
+/// Parses one complete JSON document (with nothing but whitespace
+/// after it).
+pub(crate) fn parse_json(text: &str) -> io::Result<JVal> {
+    let mut p = JsonParser { s: text.as_bytes(), i: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(bad_data(format!("trailing garbage at byte {}", p.i)));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> io::Result<u8> {
+        self.s.get(self.i).copied().ok_or_else(|| bad_data("unexpected end of JSON"))
+    }
+
+    fn eat(&mut self, b: u8) -> io::Result<()> {
+        if self.peek()? == b {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(bad_data(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char, self.i, self.peek()? as char
+            )))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JVal) -> io::Result<JVal> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(bad_data(format!("bad literal at byte {}", self.i)))
+        }
+    }
+
+    fn value(&mut self) -> io::Result<JVal> {
+        self.skip_ws();
+        match self.peek()? {
+            b'n' => self.lit("null", JVal::Null),
+            b't' => self.lit("true", JVal::Bool(true)),
+            b'f' => self.lit("false", JVal::Bool(false)),
+            b'"' => Ok(JVal::Str(self.string()?)),
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek()? == b']' {
+                    self.i += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek()? {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Ok(JVal::Arr(items));
+                        }
+                        c => return Err(bad_data(format!("bad array separator {:?}", c as char))),
+                    }
+                }
+            }
+            b'{' => {
+                self.i += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek()? == b'}' {
+                    self.i += 1;
+                    return Ok(JVal::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    pairs.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek()? {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Ok(JVal::Obj(pairs));
+                        }
+                        c => return Err(bad_data(format!("bad object separator {:?}", c as char))),
+                    }
+                }
+            }
+            c if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                while self.i < self.s.len()
+                    && matches!(self.s[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    self.i += 1;
+                }
+                let raw = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| bad_data("non-UTF8 number"))?;
+                // Validate now so accessors can't hit un-number tokens.
+                raw.parse::<f64>().map_err(|_| bad_data(format!("bad number {raw:?}")))?;
+                Ok(JVal::Num(raw.to_owned()))
+            }
+            c => Err(bad_data(format!("unexpected {:?} at byte {}", c as char, self.i))),
+        }
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek()?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek()?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.s.len() {
+                                return Err(bad_data("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.s[self.i..self.i + 4])
+                                .map_err(|_| bad_data("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| bad_data("bad \\u escape"))?;
+                            self.i += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| bad_data("surrogate \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(bad_data(format!("bad escape \\{}", e as char))),
+                    }
+                }
+                _ => {
+                    // Re-sync on UTF-8: walk back and take the full char.
+                    let rest = std::str::from_utf8(&self.s[self.i - 1..])
+                        .map_err(|_| bad_data("non-UTF8 string"))?;
+                    let ch = rest.chars().next().ok_or_else(|| bad_data("empty char"))?;
+                    self.i = self.i - 1 + ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_the_writers() {
+        let v = parse_json(r#"{"a":1,"b":[1.5,null,"x\"y\n"],"c":{"d":true}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().u64().unwrap(), 1);
+        let b = v.get("b").unwrap().arr().unwrap();
+        assert_eq!(b[0].f64().unwrap(), 1.5);
+        assert_eq!(b[1], JVal::Null);
+        assert_eq!(b[2].str().unwrap(), "x\"y\n");
+        assert!(matches!(v.get("c").unwrap().get("d").unwrap(), JVal::Bool(true)));
+        assert!(parse_json("{\"a\":1} junk").is_err());
+        assert!(parse_json("{").is_err());
+    }
+
+    #[test]
+    fn json_numbers_keep_exact_tokens() {
+        // u64 beyond 2^53 and a shortest-round-trip f64 both survive.
+        let v = parse_json("[18446744073709551615,0.1,-2.5e-3]").unwrap();
+        let a = v.arr().unwrap();
+        assert_eq!(a[0].u64().unwrap(), u64::MAX);
+        assert_eq!(a[1].f64().unwrap(), 0.1);
+        assert_eq!(a[2].f64().unwrap(), -2.5e-3);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_axis() {
+        use crate::{BaseScenario, CampaignSpec};
+        use eend_wireless::stacks;
+        let base = CampaignSpec::new("fp", BaseScenario::Small)
+            .stacks(vec![stacks::titan_pc()])
+            .rates(vec![2.0, 4.0])
+            .seeds(2)
+            .secs(30);
+        let fp = |s: &CampaignSpec| fingerprint(&s.name, &s.expand());
+        let reference = fp(&base);
+        assert_eq!(reference, fp(&base.clone()), "deterministic");
+        assert_ne!(reference, fp(&base.clone().rates(vec![2.0, 5.0])));
+        assert_ne!(reference, fp(&base.clone().seeds(3)));
+        assert_ne!(reference, fp(&base.clone().seed_base(7)));
+        assert_ne!(reference, fp(&base.clone().secs(31)));
+        assert_ne!(reference, fp(&base.clone().stacks(vec![stacks::dsr_active()])));
+        // Same failure label, different kill schedule: must differ too.
+        let plan = |node| {
+            crate::FailurePlan { label: "kill".to_owned(), kills: vec![(10.0, node)] }
+        };
+        assert_ne!(
+            fp(&base.clone().failures(vec![plan(3)])),
+            fp(&base.clone().failures(vec![plan(5)])),
+            "kill schedules with identical labels must not collide"
+        );
+    }
+
+    #[test]
+    fn manifest_round_trips_with_and_without_axes() {
+        use crate::{BaseScenario, CampaignSpec};
+        use eend_wireless::stacks;
+        let spec = CampaignSpec::new("mrt", BaseScenario::Density)
+            .stacks(vec![stacks::titan_pc(), stacks::dsr_odpm_pc()])
+            .node_counts(vec![300, 400])
+            .seeds(2)
+            .seed_base(10)
+            .secs(45);
+        let m = Manifest::for_spec(&spec, 1, 3);
+        let back = Manifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+        let axes = back.axes.unwrap();
+        let rebuilt = axes.to_spec("mrt").unwrap();
+        assert_eq!(rebuilt, spec, "axes must rebuild the exact spec");
+
+        let mut no_axes = Manifest::for_spec(&spec, 0, 1);
+        no_axes.axes = None;
+        assert_eq!(Manifest::from_json(&no_axes.to_json()).unwrap(), no_axes);
+    }
+
+    #[test]
+    fn record_lines_round_trip_metrics_exactly() {
+        use crate::{BaseScenario, CampaignSpec, Executor};
+        use eend_wireless::stacks;
+        let spec = CampaignSpec::new("rt", BaseScenario::Small)
+            .stacks(vec![stacks::titan_pc()])
+            .rates(vec![4.0])
+            .seeds(1)
+            .secs(20);
+        let jobs = spec.expand();
+        let records = Executor::with_workers(1).run_jobs(&jobs);
+        let mut line = String::new();
+        record_line_into(&mut line, jobs[0].index, &records[0]);
+        let v = parse_json(line.trim_end()).unwrap();
+        verify_line_identity(&v, &jobs[0]).unwrap();
+        let back = metrics_from_json(v.get("metrics").unwrap()).unwrap();
+        assert_eq!(back, records[0].metrics, "full RunMetrics must round-trip bit-exactly");
+    }
+}

@@ -1,0 +1,179 @@
+//! The streaming pipeline's durability contracts:
+//!
+//! 1. an interrupted campaign resumed from its on-disk store reassembles
+//!    **byte-identically** to a one-shot in-memory serial run;
+//! 2. shard stores produced on independent "machines" merge back into
+//!    the byte-identical unsharded result;
+//! 3. a store refuses to resume under a different spec (fingerprint
+//!    check).
+
+use eend_campaign::store::Manifest;
+use eend_campaign::{
+    merge_stores, BaseScenario, CampaignSpec, Executor, ResultStore,
+};
+use eend_wireless::stacks;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory per test invocation (no tempfile dep).
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eend-store-test-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("durability", BaseScenario::Small)
+        .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+        .rates(vec![2.0, 4.0])
+        .seeds(2)
+        .secs(20)
+}
+
+#[test]
+fn interrupted_then_resumed_equals_one_shot() {
+    let spec = spec();
+    let jobs = spec.expand();
+    assert_eq!(jobs.len(), 8);
+    let one_shot = Executor::with_workers(1).run(&spec);
+
+    let dir = scratch("resume");
+    let manifest = Manifest::for_spec(&spec, 0, 1);
+
+    // "Machine" run 1: killed after 3 jobs (the limit models the kill
+    // deterministically), plus a torn final line from the dying writer.
+    {
+        let mut store = ResultStore::open(&dir, manifest.clone()).unwrap();
+        let ran = store.run(&Executor::with_workers(2), &jobs, Some(3)).unwrap();
+        assert_eq!(ran, 3);
+    }
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("records.jsonl"))
+            .unwrap();
+        write!(f, "{{\"job\":7,\"stack\":\"TIT").unwrap(); // no newline: torn
+    }
+
+    // Run 2: re-open, verify only the 3 durable jobs count as done,
+    // finish the rest in parallel.
+    {
+        let mut store = ResultStore::open(&dir, manifest.clone()).unwrap();
+        assert_eq!(store.completed().len(), 3, "torn line must not count as completed");
+        let ran = store.run(&Executor::with_workers(4), &jobs, None).unwrap();
+        assert_eq!(ran, 5);
+        assert!(store.is_complete(&jobs));
+
+        let assembled = store.assemble(&jobs).unwrap();
+        assert_eq!(assembled, one_shot);
+        assert_eq!(format!("{assembled:?}"), format!("{one_shot:?}"));
+        assert_eq!(assembled.to_csv(), one_shot.to_csv(), "CSV must be byte-identical");
+        assert_eq!(assembled.to_json(), one_shot.to_json(), "JSON must be byte-identical");
+
+        // Idempotence: running again does nothing.
+        assert_eq!(store.run(&Executor::bounded(), &jobs, None).unwrap(), 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_stores_merge_to_the_unsharded_result() {
+    let spec = spec();
+    let jobs = spec.expand();
+    let one_shot = Executor::with_workers(1).run(&spec);
+
+    let shards = 3;
+    let dirs: Vec<PathBuf> = (0..shards).map(|i| scratch(&format!("shard{i}"))).collect();
+    let mut stores = Vec::new();
+    for (i, dir) in dirs.iter().enumerate() {
+        // Each "machine" runs its slice with a different worker count —
+        // merge order and determinism must not care.
+        let shard_jobs = spec.shard(i, shards);
+        let mut store = ResultStore::open(dir, Manifest::for_spec(&spec, i, shards)).unwrap();
+        store.run(&Executor::with_workers(i + 1), &shard_jobs, None).unwrap();
+        assert!(store.is_complete(&shard_jobs));
+        stores.push(store);
+    }
+
+    let refs: Vec<&ResultStore> = stores.iter().collect();
+    let merged = merge_stores(&refs, &jobs).unwrap();
+    assert_eq!(merged, one_shot);
+    assert_eq!(merged.to_csv(), one_shot.to_csv());
+    assert_eq!(merged.to_json(), one_shot.to_json());
+
+    // A missing shard is an incomplete campaign, loudly.
+    let partial: Vec<&ResultStore> = stores.iter().take(shards - 1).collect();
+    let err = merge_stores(&partial, &jobs).unwrap_err();
+    assert!(err.to_string().contains("no record"), "got: {err}");
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn complete_record_missing_its_newline_still_resumes_cleanly() {
+    // The other torn-write shape: the kill landed *between* the record's
+    // bytes and its newline, so the last line is complete JSON with no
+    // terminator. The store must count it as done AND restore the
+    // newline, or the resumed writer's first append would glue onto it.
+    let spec = spec();
+    let jobs = spec.expand();
+    let one_shot = Executor::with_workers(1).run(&spec);
+    let dir = scratch("noeol");
+    let manifest = Manifest::for_spec(&spec, 0, 1);
+    {
+        let mut store = ResultStore::open(&dir, manifest.clone()).unwrap();
+        store.run(&Executor::with_workers(1), &jobs, Some(3)).unwrap();
+    }
+    let path = dir.join("records.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.ends_with('\n'));
+    std::fs::write(&path, text.trim_end_matches('\n')).unwrap(); // chop the last '\n'
+    {
+        let mut store = ResultStore::open(&dir, manifest).unwrap();
+        assert_eq!(store.completed().len(), 3, "the complete record still counts");
+        store.run(&Executor::with_workers(2), &jobs, None).unwrap();
+        let assembled = store.assemble(&jobs).unwrap();
+        assert_eq!(assembled.to_csv(), one_shot.to_csv());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_refuses_a_different_spec() {
+    let dir = scratch("fingerprint");
+    let original = spec();
+    {
+        let mut store = ResultStore::open(&dir, Manifest::for_spec(&original, 0, 1)).unwrap();
+        store.run(&Executor::with_workers(2), &original.expand(), Some(1)).unwrap();
+    }
+    // Same campaign name, different grid: the fingerprint must differ
+    // and the store must refuse.
+    let other = spec().rates(vec![2.0, 6.0]);
+    let err = ResultStore::open(&dir, Manifest::for_spec(&other, 0, 1)).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("refusing to resume"), "got: {err}");
+
+    // The original spec still opens and remembers its progress.
+    let store = ResultStore::open(&dir, Manifest::for_spec(&original, 0, 1)).unwrap();
+    assert_eq!(store.completed().len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_rejects_jobs_outside_the_shard() {
+    let spec = spec();
+    let dir = scratch("wrongshard");
+    let mut store = ResultStore::open(&dir, Manifest::for_spec(&spec, 1, 2)).unwrap();
+    // Handing shard 0's jobs to shard 1's store is a caller bug.
+    let err = store.run(&Executor::bounded(), &spec.shard(0, 2), None).unwrap_err();
+    assert!(err.to_string().contains("does not belong to shard"), "got: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

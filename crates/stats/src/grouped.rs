@@ -48,34 +48,104 @@ pub struct SampleRow {
 /// assert_eq!(series[1].points[0].summary.n, 2); // TITAN-PC cell at x = 2
 /// ```
 pub fn aggregate_series(rows: &[SampleRow]) -> Vec<Series> {
-    let mut labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
-    labels.sort_unstable();
-    labels.dedup();
+    let mut agg = StreamingAggregator::new();
+    for r in rows {
+        agg.push(&r.label, r.x, r.value);
+    }
+    agg.finish()
+}
 
-    labels
-        .into_iter()
-        .map(|label| {
-            let mut cells: Vec<(f64, f64)> = rows
-                .iter()
-                .filter(|r| r.label == label)
-                .map(|r| (r.x, r.value))
-                .collect();
-            cells.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
-            let mut series = Series::new(label);
-            let mut i = 0;
-            while i < cells.len() {
-                let x = cells[i].0;
-                let mut j = i;
-                while j < cells.len() && cells[j].0.total_cmp(&x).is_eq() {
-                    j += 1;
+/// Incremental version of [`aggregate_series`]: push one `(label, x,
+/// value)` sample at a time — in any order — and call
+/// [`StreamingAggregator::finish`] once at the end.
+///
+/// The streaming campaign executor feeds this as records complete, so
+/// aggregation holds only the scalar samples (three words per run), not
+/// the full per-run metrics. The result is *identical* to collecting
+/// every row and calling the batch function — in fact
+/// [`aggregate_series`] is implemented over this type, and a property
+/// test pins the permutation independence both inherit: `finish` sorts
+/// labels, x positions, and each cell's samples before summarising, so
+/// arrival order can never leak into the output.
+///
+/// # Example
+///
+/// ```
+/// use eend_stats::grouped::{aggregate_series, SampleRow, StreamingAggregator};
+///
+/// let rows = vec![
+///     SampleRow { label: "TITAN-PC".into(), x: 2.0, value: 0.98 },
+///     SampleRow { label: "TITAN-PC".into(), x: 2.0, value: 0.94 },
+///     SampleRow { label: "DSR-Active".into(), x: 2.0, value: 0.99 },
+/// ];
+/// let mut agg = StreamingAggregator::new();
+/// for r in rows.iter().rev() {
+///     agg.push(&r.label, r.x, r.value); // any order
+/// }
+/// assert_eq!(agg.finish(), aggregate_series(&rows));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingAggregator {
+    /// One entry per label, holding every `(x, value)` sample seen so far.
+    groups: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl StreamingAggregator {
+    /// An aggregator with no samples.
+    pub fn new() -> StreamingAggregator {
+        StreamingAggregator::default()
+    }
+
+    /// Adds one sample. Labels are matched exactly; a new label opens a
+    /// new group.
+    pub fn push(&mut self, label: &str, x: f64, value: f64) {
+        match self.groups.iter_mut().find(|(l, _)| l == label) {
+            Some((_, cells)) => cells.push((x, value)),
+            None => self.groups.push((label.to_owned(), vec![(x, value)])),
+        }
+    }
+
+    /// Adds one [`SampleRow`].
+    pub fn push_row(&mut self, row: &SampleRow) {
+        self.push(&row.label, row.x, row.value);
+    }
+
+    /// Total samples pushed so far.
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(|(_, cells)| cells.len()).sum()
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Collapses the accumulated samples exactly as [`aggregate_series`]
+    /// does: labels sorted lexicographically, x ascending
+    /// (`f64::total_cmp`, NaN last in its own cell), cell samples sorted
+    /// by value before summarising.
+    pub fn finish(mut self) -> Vec<Series> {
+        self.groups.sort_by(|a, b| a.0.cmp(&b.0));
+        self.groups
+            .into_iter()
+            .map(|(label, mut cells)| {
+                cells.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                let mut series = Series::new(label);
+                let mut i = 0;
+                while i < cells.len() {
+                    let x = cells[i].0;
+                    let mut j = i;
+                    while j < cells.len() && cells[j].0.total_cmp(&x).is_eq() {
+                        j += 1;
+                    }
+                    let samples: Vec<f64> = cells[i..j].iter().map(|&(_, v)| v).collect();
+                    series.push_summary(x, Summary::from_samples(&samples));
+                    i = j;
                 }
-                let samples: Vec<f64> = cells[i..j].iter().map(|&(_, v)| v).collect();
-                series.push_summary(x, Summary::from_samples(&samples));
-                i = j;
-            }
-            series
-        })
-        .collect()
+                series
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +211,44 @@ mod tests {
             let mut shuffled = rows.clone();
             permute(&mut shuffled, seed);
             prop_assert_eq!(aggregate_series(&rows), aggregate_series(&shuffled));
+        }
+
+        #[test]
+        fn streaming_equals_batch_on_permuted_streams(
+            parts in proptest::collection::vec((0usize..3, 0usize..4, -1e3f64..1e3), 0..40),
+            seed in 0u64..1_000_000,
+        ) {
+            // The batch result over the original order must equal the
+            // streaming result over any permutation of the same rows:
+            // the aggregator is a pure function of the sample multiset.
+            let rows = rows_from(&parts);
+            let mut shuffled = rows.clone();
+            permute(&mut shuffled, seed);
+            let mut agg = StreamingAggregator::new();
+            for r in &shuffled {
+                agg.push_row(r);
+            }
+            prop_assert_eq!(agg.len(), rows.len());
+            prop_assert_eq!(agg.finish(), aggregate_series(&rows));
+        }
+
+        #[test]
+        fn streaming_is_insensitive_to_push_batching(
+            parts in proptest::collection::vec((0usize..3, 0usize..4, -1e3f64..1e3), 1..30),
+            split in 0usize..30,
+        ) {
+            // Feeding the stream in two chunks (a resume picking up after
+            // an interrupted campaign) changes nothing.
+            let rows = rows_from(&parts);
+            let split = split % rows.len();
+            let mut agg = StreamingAggregator::new();
+            for r in &rows[..split] {
+                agg.push(&r.label, r.x, r.value);
+            }
+            for r in &rows[split..] {
+                agg.push(&r.label, r.x, r.value);
+            }
+            prop_assert_eq!(agg.finish(), aggregate_series(&rows));
         }
 
         #[test]

@@ -157,74 +157,90 @@ impl DsdvRouting {
         Frame { tx: ctx.node, rx: None, packet }
     }
 
-    /// Handles a freshly generated application packet.
-    pub fn on_app_packet(&mut self, ctx: &mut RoutingCtx<'_>, mut packet: Packet) -> Vec<Action> {
+    /// Handles a freshly generated application packet. Allocation-free
+    /// entry point (see [`DsdvRouting::on_app_packet`]).
+    pub fn on_app_packet_into(
+        &mut self,
+        ctx: &mut RoutingCtx<'_>,
+        mut packet: Packet,
+        out: &mut Vec<Action>,
+    ) {
         match self.next_hop(packet.dst) {
             Some(next) => {
                 packet.route = vec![ctx.node];
                 packet.hop_idx = 0;
-                vec![Action::Send(Frame { tx: ctx.node, rx: Some(next), packet })]
+                out.push(Action::Send(Frame { tx: ctx.node, rx: Some(next), packet }));
             }
             None => {
                 let buf = self.buffer.entry(packet.dst).or_default();
                 if buf.len() >= self.cfg.buffer_per_dst {
-                    return vec![Action::Drop(packet, DropReason::BufferOverflow)];
+                    out.push(Action::Drop(packet, DropReason::BufferOverflow));
+                    return;
                 }
                 buf.push_back(packet);
-                Vec::new()
             }
         }
     }
 
     /// Handles a received frame. Table advertisements are merged from a
     /// borrow — the (potentially whole-table) entry list is never cloned
-    /// just to dispatch on the packet kind.
-    pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+    /// just to dispatch on the packet kind. Allocation-free entry point
+    /// (see [`DsdvRouting::on_frame`]).
+    pub fn on_frame_into(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame, out: &mut Vec<Action>) {
         let from = frame.tx;
         let mut packet = frame.packet;
         if let PacketKind::DsdvUpdate { entries } = &packet.kind {
-            return self.on_update(ctx, from, entries);
+            return self.on_update_into(ctx, from, entries, out);
         }
         if !packet.kind.is_data() {
             // Reactive control traffic is foreign to DSDV nodes.
-            return Vec::new();
+            return;
         }
         let me = ctx.node;
         if packet.dst == me {
             packet.route.push(me);
-            return vec![Action::Deliver(packet)];
+            out.push(Action::Deliver(packet));
+            return;
         }
         if packet.route.contains(&me) {
             // Transient loop while tables converge: shed the packet.
-            return vec![Action::Drop(packet, DropReason::NoRoute)];
+            out.push(Action::Drop(packet, DropReason::NoRoute));
+            return;
         }
         match self.next_hop(packet.dst) {
             Some(next) => {
                 packet.route.push(me);
                 packet.hop_idx += 1;
-                vec![Action::Send(Frame { tx: me, rx: Some(next), packet })]
+                out.push(Action::Send(Frame { tx: me, rx: Some(next), packet }));
             }
-            None => vec![Action::Drop(packet, DropReason::NoRoute)],
+            None => out.push(Action::Drop(packet, DropReason::NoRoute)),
         }
     }
 
     /// Handles a broadcast reception without taking ownership (see
     /// [`crate::routing::RoutingAgent::on_broadcast`]): advertisements —
     /// the only broadcast DSDV traffic — are merged straight from the
-    /// shared frame.
-    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame) -> Vec<Action> {
+    /// shared frame. Allocation-free entry point (see
+    /// [`DsdvRouting::on_broadcast`]).
+    pub fn on_broadcast_into(
+        &mut self,
+        ctx: &mut RoutingCtx<'_>,
+        frame: &Frame,
+        out: &mut Vec<Action>,
+    ) {
         if let PacketKind::DsdvUpdate { entries } = &frame.packet.kind {
-            return self.on_update(ctx, frame.tx, entries);
+            return self.on_update_into(ctx, frame.tx, entries, out);
         }
-        self.on_frame(ctx, frame.clone())
+        self.on_frame_into(ctx, frame.clone(), out)
     }
 
-    fn on_update(
+    fn on_update_into(
         &mut self,
         ctx: &mut RoutingCtx<'_>,
         from: NodeId,
         entries: &[DsdvEntry],
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         let me = ctx.node;
         let dist = ctx.channel.distance(from, me);
         let in_psm = ctx.pm_modes[me] == PmMode::PowerSave;
@@ -256,7 +272,6 @@ impl DsdvRouting {
             }
         }
         // Flush buffered packets whose destinations became reachable.
-        let mut actions = Vec::new();
         // Standard DSDV triggered update: propagate newly adopted sequence
         // numbers promptly (rate-limited; own sequence is not bumped, so
         // the cascade settles once every node has seen the new numbers).
@@ -266,7 +281,8 @@ impl DsdvRouting {
                 .is_none_or(|last| ctx.now >= last + self.cfg.min_trigger_gap);
             if gap_ok {
                 self.last_trigger = Some(ctx.now);
-                actions.push(Action::Send(self.build_update(ctx, false)));
+                let update = self.build_update(ctx, false);
+                out.push(Action::Send(update));
             }
         }
         if learned_new_dst {
@@ -282,30 +298,34 @@ impl DsdvRouting {
                     for mut p in buf {
                         p.route = vec![me];
                         p.hop_idx = 0;
-                        actions.push(Action::Send(Frame { tx: me, rx: Some(next), packet: p }));
+                        out.push(Action::Send(Frame { tx: me, rx: Some(next), packet: p }));
                     }
                 }
             }
         }
-        actions
     }
 
-    /// Handles a fired timer (periodic advertisement).
-    pub fn on_timer(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind) -> Vec<Action> {
+    /// Handles a fired timer (periodic advertisement). Allocation-free
+    /// entry point (see [`DsdvRouting::on_timer`]).
+    pub fn on_timer_into(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind, out: &mut Vec<Action>) {
         if kind != TimerKind::DsdvPeriodic {
-            return Vec::new();
+            return;
         }
         let frame = self.build_update(ctx, true);
-        vec![
-            Action::Send(frame),
-            Action::Timer(TimerKind::DsdvPeriodic, ctx.now + self.cfg.periodic),
-        ]
+        out.push(Action::Send(frame));
+        out.push(Action::Timer(TimerKind::DsdvPeriodic, ctx.now + self.cfg.periodic));
     }
 
     /// Handles a dead link reported by the MAC: mark routes through the
     /// failed neighbour broken (odd sequence, the DSDV convention).
-    pub fn on_link_failure(&mut self, _ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
-        let Some(bad) = frame.rx else { return Vec::new() };
+    /// Allocation-free entry point (see [`DsdvRouting::on_link_failure`]).
+    pub fn on_link_failure_into(
+        &mut self,
+        _ctx: &mut RoutingCtx<'_>,
+        frame: Frame,
+        out: &mut Vec<Action>,
+    ) {
+        let Some(bad) = frame.rx else { return };
         for r in self.table.values_mut() {
             if r.next == bad && r.metric.is_finite() {
                 r.metric = f64::INFINITY;
@@ -313,25 +333,76 @@ impl DsdvRouting {
             }
         }
         if frame.packet.kind.is_data() {
-            vec![Action::Drop(frame.packet, DropReason::LinkFailure)]
-        } else {
-            Vec::new()
+            out.push(Action::Drop(frame.packet, DropReason::LinkFailure));
         }
     }
 
     /// DSDVH's trigger: the node's own PM state changed, so every route
     /// through it changed cost — advertise (rate-limited).
-    pub fn on_pm_changed(&mut self, ctx: &mut RoutingCtx<'_>, _mode: PmMode) -> Vec<Action> {
+    /// Allocation-free entry point (see [`DsdvRouting::on_pm_changed`]).
+    pub fn on_pm_changed_into(
+        &mut self,
+        ctx: &mut RoutingCtx<'_>,
+        _mode: PmMode,
+        out: &mut Vec<Action>,
+    ) {
         if !self.cfg.trigger_on_pm_change {
-            return Vec::new();
+            return;
         }
         if let Some(last) = self.last_trigger {
             if ctx.now < last + self.cfg.min_trigger_gap {
-                return Vec::new();
+                return;
             }
         }
         self.last_trigger = Some(ctx.now);
-        vec![Action::Send(self.build_update(ctx, false))]
+        let update = self.build_update(ctx, false);
+        out.push(Action::Send(update));
+    }
+
+    // Vec-returning conveniences over the `_into` entry points, for
+    // unit tests and standalone use. The event loop always goes through
+    // the `_into` variants with a pooled buffer.
+
+    /// [`DsdvRouting::on_app_packet_into`], collecting into a fresh `Vec`.
+    pub fn on_app_packet(&mut self, ctx: &mut RoutingCtx<'_>, packet: Packet) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_app_packet_into(ctx, packet, &mut out);
+        out
+    }
+
+    /// [`DsdvRouting::on_frame_into`], collecting into a fresh `Vec`.
+    pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_frame_into(ctx, frame, &mut out);
+        out
+    }
+
+    /// [`DsdvRouting::on_broadcast_into`], collecting into a fresh `Vec`.
+    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_broadcast_into(ctx, frame, &mut out);
+        out
+    }
+
+    /// [`DsdvRouting::on_timer_into`], collecting into a fresh `Vec`.
+    pub fn on_timer(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_timer_into(ctx, kind, &mut out);
+        out
+    }
+
+    /// [`DsdvRouting::on_link_failure_into`], collecting into a fresh `Vec`.
+    pub fn on_link_failure(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_link_failure_into(ctx, frame, &mut out);
+        out
+    }
+
+    /// [`DsdvRouting::on_pm_changed_into`], collecting into a fresh `Vec`.
+    pub fn on_pm_changed(&mut self, ctx: &mut RoutingCtx<'_>, mode: PmMode) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_pm_changed_into(ctx, mode, &mut out);
+        out
     }
 }
 

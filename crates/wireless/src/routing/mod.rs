@@ -116,18 +116,24 @@ pub enum RoutingAgent {
 
 impl RoutingAgent {
     /// The application hands over a freshly generated data packet.
-    pub fn on_app_packet(&mut self, ctx: &mut RoutingCtx<'_>, packet: Packet) -> Vec<Action> {
+    ///
+    /// Every entry point takes the caller's reusable `out` buffer
+    /// instead of returning a fresh `Vec`: the event loop pools these
+    /// buffers, so steady-state routing emits **no per-event
+    /// allocations** (the `ReactiveRouting`/`DsdvRouting` inner types
+    /// keep Vec-returning conveniences for tests and standalone use).
+    pub fn on_app_packet(&mut self, ctx: &mut RoutingCtx<'_>, packet: Packet, out: &mut Vec<Action>) {
         match self {
-            RoutingAgent::Reactive(r) => r.on_app_packet(ctx, packet),
-            RoutingAgent::Dsdv(d) => d.on_app_packet(ctx, packet),
+            RoutingAgent::Reactive(r) => r.on_app_packet_into(ctx, packet, out),
+            RoutingAgent::Dsdv(d) => d.on_app_packet_into(ctx, packet, out),
         }
     }
 
     /// A frame addressed to (or broadcast at) this node arrived.
-    pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+    pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame, out: &mut Vec<Action>) {
         match self {
-            RoutingAgent::Reactive(r) => r.on_frame(ctx, frame),
-            RoutingAgent::Dsdv(d) => d.on_frame(ctx, frame),
+            RoutingAgent::Reactive(r) => r.on_frame_into(ctx, frame, out),
+            RoutingAgent::Dsdv(d) => d.on_frame_into(ctx, frame, out),
         }
     }
 
@@ -136,34 +142,34 @@ impl RoutingAgent {
     /// the event loop hands the same frame to every receiver, and the
     /// flood paths (RREQ damping, DSDV table merges) only copy packet
     /// payloads for receivers that actually emit something.
-    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame) -> Vec<Action> {
+    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame, out: &mut Vec<Action>) {
         match self {
-            RoutingAgent::Reactive(r) => r.on_broadcast(ctx, frame),
-            RoutingAgent::Dsdv(d) => d.on_broadcast(ctx, frame),
+            RoutingAgent::Reactive(r) => r.on_broadcast_into(ctx, frame, out),
+            RoutingAgent::Dsdv(d) => d.on_broadcast_into(ctx, frame, out),
         }
     }
 
     /// A previously armed timer fired.
-    pub fn on_timer(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind) -> Vec<Action> {
+    pub fn on_timer(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind, out: &mut Vec<Action>) {
         match self {
-            RoutingAgent::Reactive(r) => r.on_timer(ctx, kind),
-            RoutingAgent::Dsdv(d) => d.on_timer(ctx, kind),
+            RoutingAgent::Reactive(r) => r.on_timer_into(ctx, kind, out),
+            RoutingAgent::Dsdv(d) => d.on_timer_into(ctx, kind, out),
         }
     }
 
     /// The MAC gave up on a frame after the retry limit.
-    pub fn on_link_failure(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+    pub fn on_link_failure(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame, out: &mut Vec<Action>) {
         match self {
-            RoutingAgent::Reactive(r) => r.on_link_failure(ctx, frame),
-            RoutingAgent::Dsdv(d) => d.on_link_failure(ctx, frame),
+            RoutingAgent::Reactive(r) => r.on_link_failure_into(ctx, frame, out),
+            RoutingAgent::Dsdv(d) => d.on_link_failure_into(ctx, frame, out),
         }
     }
 
     /// This node's power-management mode changed (DSDVH's trigger).
-    pub fn on_pm_changed(&mut self, ctx: &mut RoutingCtx<'_>, mode: PmMode) -> Vec<Action> {
+    pub fn on_pm_changed(&mut self, ctx: &mut RoutingCtx<'_>, mode: PmMode, out: &mut Vec<Action>) {
         match self {
-            RoutingAgent::Reactive(_) => Vec::new(),
-            RoutingAgent::Dsdv(d) => d.on_pm_changed(ctx, mode),
+            RoutingAgent::Reactive(_) => {}
+            RoutingAgent::Dsdv(d) => d.on_pm_changed_into(ctx, mode, out),
         }
     }
 }

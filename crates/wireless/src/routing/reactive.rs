@@ -112,35 +112,44 @@ impl ReactiveRouting {
     }
 
     /// Handles a freshly generated application packet.
-    pub fn on_app_packet(&mut self, ctx: &mut RoutingCtx<'_>, mut packet: Packet) -> Vec<Action> {
+    /// Allocation-free entry point (see [`ReactiveRouting::on_app_packet`]):
+    /// actions are pushed into the caller's reusable buffer.
+    pub fn on_app_packet_into(
+        &mut self,
+        ctx: &mut RoutingCtx<'_>,
+        mut packet: Packet,
+        out: &mut Vec<Action>,
+    ) {
         debug_assert!(packet.kind.is_data(), "app hands over data only");
         if let Some(route) = self.cache.get(&packet.dst) {
             packet.route = route.path.clone();
             packet.hop_idx = 0;
             let next = packet.next_hop().expect("cached route has ≥ 2 nodes");
-            return vec![Action::Send(Frame { tx: ctx.node, rx: Some(next), packet })];
+            out.push(Action::Send(Frame { tx: ctx.node, rx: Some(next), packet }));
+            return;
         }
         let rate = data_rate(&packet);
         let target = packet.dst;
         let pend = self.pending.entry(target).or_default();
         if pend.packets.len() >= self.cfg.max_pending_per_target {
-            return vec![Action::Drop(packet, DropReason::BufferOverflow)];
+            out.push(Action::Drop(packet, DropReason::BufferOverflow));
+            return;
         }
         pend.packets.push_back(packet);
         if pend.attempt == 0 {
             pend.attempt = 1;
-            return self.emit_discovery(ctx, target, rate, 1);
+            self.emit_discovery_into(ctx, target, rate, 1, out);
         }
-        Vec::new()
     }
 
-    fn emit_discovery(
+    fn emit_discovery_into(
         &mut self,
         ctx: &mut RoutingCtx<'_>,
         target: NodeId,
         rate_bps: f64,
         attempt: u32,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         let id = self.next_rreq;
         self.next_rreq += 1;
         self.discoveries += 1;
@@ -166,35 +175,39 @@ impl ReactiveRouting {
             .cfg
             .base_discovery_timeout
             .saturating_mul(1u64 << (attempt - 1).min(8));
-        vec![
-            Action::Send(Frame { tx: ctx.node, rx: None, packet }),
-            Action::Timer(TimerKind::Discovery { target, attempt }, ctx.now + timeout),
-        ]
+        out.push(Action::Send(Frame { tx: ctx.node, rx: None, packet }));
+        out.push(Action::Timer(TimerKind::Discovery { target, attempt }, ctx.now + timeout));
     }
 
     /// Handles a received frame. The kind is moved out of the packet (and
     /// restored where a branch forwards it), so reception never clones
-    /// the RREQ/RREP path vectors just to dispatch.
-    pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+    /// the RREQ/RREP path vectors just to dispatch. Allocation-free
+    /// entry point (see [`ReactiveRouting::on_frame`]).
+    pub fn on_frame_into(
+        &mut self,
+        ctx: &mut RoutingCtx<'_>,
+        frame: Frame,
+        out: &mut Vec<Action>,
+    ) {
         let from = frame.tx;
         let mut packet = frame.packet;
         let kind = std::mem::replace(&mut packet.kind, PacketKind::Rerr { from: 0, to: 0 });
         match kind {
             PacketKind::Rreq { id, origin, target, cost, path, rate_bps } => {
-                self.on_rreq(ctx, from, &packet, id, origin, target, cost, &path, rate_bps)
+                self.on_rreq_into(ctx, from, &packet, id, origin, target, cost, &path, rate_bps, out)
             }
             PacketKind::Rrep { id, origin, target, path, cost } => {
-                self.on_rrep(ctx, packet, id, origin, target, path, cost)
+                self.on_rrep_into(ctx, packet, id, origin, target, path, cost, out)
             }
             PacketKind::Rerr { from: bad_from, to: bad_to } => {
                 packet.kind = PacketKind::Rerr { from: bad_from, to: bad_to };
-                self.on_rerr(ctx, packet, bad_from, bad_to)
+                self.on_rerr_into(ctx, packet, bad_from, bad_to, out)
             }
             PacketKind::Data { flow, seq, rate_bps } => {
                 packet.kind = PacketKind::Data { flow, seq, rate_bps };
-                self.on_data(ctx, packet)
+                self.on_data_into(ctx, packet, out)
             }
-            PacketKind::DsdvUpdate { .. } => Vec::new(), // not ours; ignore
+            PacketKind::DsdvUpdate { .. } => {} // not ours; ignore
         }
     }
 
@@ -202,9 +215,15 @@ impl ReactiveRouting {
     /// runner delivers one shared frame to every receiver, and the flood
     /// logic only allocates (path copy, forwarded packet) for the
     /// minority of receivers that actually reply or rebroadcast.
-    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame) -> Vec<Action> {
+    /// Allocation-free entry point (see [`ReactiveRouting::on_broadcast`]).
+    pub fn on_broadcast_into(
+        &mut self,
+        ctx: &mut RoutingCtx<'_>,
+        frame: &Frame,
+        out: &mut Vec<Action>,
+    ) {
         match &frame.packet.kind {
-            PacketKind::Rreq { id, origin, target, cost, path, rate_bps } => self.on_rreq(
+            PacketKind::Rreq { id, origin, target, cost, path, rate_bps } => self.on_rreq_into(
                 ctx,
                 frame.tx,
                 &frame.packet,
@@ -214,15 +233,16 @@ impl ReactiveRouting {
                 *cost,
                 path,
                 *rate_bps,
+                out,
             ),
             // Unicast-only kinds never arrive by broadcast in this stack;
             // fall back to the owning path for API completeness.
-            _ => self.on_frame(ctx, frame.clone()),
+            _ => self.on_frame_into(ctx, frame.clone(), out),
         }
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn on_rreq(
+    fn on_rreq_into(
         &mut self,
         ctx: &mut RoutingCtx<'_>,
         from: NodeId,
@@ -233,10 +253,11 @@ impl ReactiveRouting {
         cost: f64,
         path: &[NodeId],
         rate_bps: f64,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         let me = ctx.node;
         if origin == me || path.contains(&me) {
-            return Vec::new();
+            return;
         }
         let dist = ctx.channel.distance(from, me);
         let in_psm = ctx.pm_modes[me] == PmMode::PowerSave;
@@ -256,7 +277,7 @@ impl ReactiveRouting {
             let entry = self.replied.entry((origin, id)).or_insert((f64::INFINITY, 0));
             let improved = new_cost < entry.0;
             if !improved || entry.1 >= self.cfg.max_replies_per_discovery {
-                return Vec::new();
+                return;
             }
             *entry = (new_cost, entry.1 + 1);
             let full_path = full_path(path);
@@ -273,14 +294,15 @@ impl ReactiveRouting {
                 hop_idx: 0,
                 salvage: 0,
             };
-            return vec![Action::Send(Frame { tx: me, rx: Some(next), packet: reply })];
+            out.push(Action::Send(Frame { tx: me, rx: Some(next), packet: reply }));
+            return;
         }
 
         // Intermediate: forward the first copy, or a strictly cheaper one
         // when the metric warrants it.
         match self.seen.get(&(origin, id)) {
-            Some(&best) if best <= new_cost => return Vec::new(),
-            Some(_) if !self.cfg.metric.rebroadcast_on_better_cost() => return Vec::new(),
+            Some(&best) if best <= new_cost => return,
+            Some(_) if !self.cfg.metric.rebroadcast_on_better_cost() => return,
             _ => {}
         }
         self.seen.insert((origin, id), new_cost);
@@ -292,7 +314,7 @@ impl ReactiveRouting {
             let backbone = ctx.backbone_neighbors();
             let p = titan.forward_probability(ctx.channel.neighbors(me).len(), backbone);
             if !ctx.rng.chance(p) {
-                return Vec::new();
+                return;
             }
             delay = Some(titan.psm_delay);
         }
@@ -315,13 +337,13 @@ impl ReactiveRouting {
         };
         let frame = Frame { tx: me, rx: None, packet: forwarded };
         match delay {
-            Some(d) => vec![Action::SendAt(frame, ctx.now + d)],
-            None => vec![Action::Send(frame)],
+            Some(d) => out.push(Action::SendAt(frame, ctx.now + d)),
+            None => out.push(Action::Send(frame)),
         }
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn on_rrep(
+    fn on_rrep_into(
         &mut self,
         ctx: &mut RoutingCtx<'_>,
         mut packet: Packet,
@@ -330,7 +352,8 @@ impl ReactiveRouting {
         target: NodeId,
         path: Vec<NodeId>,
         cost: f64,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         let me = ctx.node;
         if me == origin {
             let better = self.cache.get(&target).is_none_or(|c| cost < c.cost);
@@ -338,112 +361,116 @@ impl ReactiveRouting {
                 self.cache.insert(target, CachedRoute { path, cost });
             }
             // Flush everything pending for this target over the best route.
-            let mut actions = Vec::new();
             if let Some(pend) = self.pending.remove(&target) {
                 let route = self.cache[&target].path.clone();
                 for mut p in pend.packets {
                     p.route = route.clone();
                     p.hop_idx = 0;
                     let next = route[1];
-                    actions.push(Action::Send(Frame { tx: me, rx: Some(next), packet: p }));
+                    out.push(Action::Send(Frame { tx: me, rx: Some(next), packet: p }));
                 }
             }
-            return actions;
+            return;
         }
         // Intermediate hop: restore the kind (moved apart at dispatch)
         // and pass the reply along the reversed discovery route.
         packet.kind = PacketKind::Rrep { id, origin, target, path, cost };
         packet.hop_idx += 1;
-        match packet.next_hop() {
-            Some(next) => vec![Action::Send(Frame { tx: me, rx: Some(next), packet })],
-            None => Vec::new(),
+        if let Some(next) = packet.next_hop() {
+            out.push(Action::Send(Frame { tx: me, rx: Some(next), packet }));
         }
     }
 
-    fn on_rerr(
+    fn on_rerr_into(
         &mut self,
         ctx: &mut RoutingCtx<'_>,
         mut packet: Packet,
         bad_from: NodeId,
         bad_to: NodeId,
-    ) -> Vec<Action> {
+        out: &mut Vec<Action>,
+    ) {
         self.invalidate_link(bad_from, bad_to);
         let me = ctx.node;
         if me == packet.dst {
-            return Vec::new();
+            return;
         }
         packet.hop_idx += 1;
-        match packet.next_hop() {
-            Some(next) => vec![Action::Send(Frame { tx: me, rx: Some(next), packet })],
-            None => Vec::new(),
+        if let Some(next) = packet.next_hop() {
+            out.push(Action::Send(Frame { tx: me, rx: Some(next), packet }));
         }
     }
 
-    fn on_data(&mut self, ctx: &mut RoutingCtx<'_>, mut packet: Packet) -> Vec<Action> {
+    fn on_data_into(&mut self, ctx: &mut RoutingCtx<'_>, mut packet: Packet, out: &mut Vec<Action>) {
         let me = ctx.node;
         if me == packet.dst {
-            return vec![Action::Deliver(packet)];
+            out.push(Action::Deliver(packet));
+            return;
         }
         packet.hop_idx += 1;
         match packet.next_hop() {
-            Some(next) => vec![Action::Send(Frame { tx: me, rx: Some(next), packet })],
-            None => vec![Action::Drop(packet, DropReason::NoRoute)],
+            Some(next) => out.push(Action::Send(Frame { tx: me, rx: Some(next), packet })),
+            None => out.push(Action::Drop(packet, DropReason::NoRoute)),
         }
     }
 
-    /// Handles a fired timer.
-    pub fn on_timer(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind) -> Vec<Action> {
+    /// Handles a fired timer. Allocation-free entry point (see
+    /// [`ReactiveRouting::on_timer`]).
+    pub fn on_timer_into(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind, out: &mut Vec<Action>) {
         let TimerKind::Discovery { target, attempt } = kind else {
-            return Vec::new();
+            return;
         };
         if self.cache.contains_key(&target) {
             // Route arrived; pending was flushed on the RREP already.
             self.pending.remove(&target);
-            return Vec::new();
+            return;
         }
         let Some(pend) = self.pending.get_mut(&target) else {
-            return Vec::new();
+            return;
         };
         if pend.attempt != attempt {
-            return Vec::new(); // stale timer from an earlier attempt
+            return; // stale timer from an earlier attempt
         }
         if attempt >= self.cfg.max_discovery_attempts {
             let pend = self.pending.remove(&target).expect("checked above");
-            return pend
-                .packets
-                .into_iter()
-                .map(|p| Action::Drop(p, DropReason::NoRoute))
-                .collect();
+            out.extend(pend.packets.into_iter().map(|p| Action::Drop(p, DropReason::NoRoute)));
+            return;
         }
         pend.attempt = attempt + 1;
         let rate = pend.packets.front().map(data_rate).unwrap_or(0.0);
-        self.emit_discovery(ctx, target, rate, attempt + 1)
+        self.emit_discovery_into(ctx, target, rate, attempt + 1, out)
     }
 
-    /// Handles the MAC reporting a dead link for `frame`.
-    pub fn on_link_failure(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+    /// Handles the MAC reporting a dead link for `frame`. Allocation-free
+    /// entry point (see [`ReactiveRouting::on_link_failure`]).
+    pub fn on_link_failure_into(
+        &mut self,
+        ctx: &mut RoutingCtx<'_>,
+        frame: Frame,
+        out: &mut Vec<Action>,
+    ) {
         let me = ctx.node;
-        let Some(next) = frame.rx else { return Vec::new() };
+        let Some(next) = frame.rx else { return };
         self.invalidate_link(me, next);
         let mut packet = frame.packet;
         if !packet.kind.is_data() {
-            return Vec::new(); // lost control traffic is re-driven by timeouts
+            return; // lost control traffic is re-driven by timeouts
         }
         if packet.salvage >= self.cfg.max_salvage {
-            return vec![Action::Drop(packet, DropReason::LinkFailure)];
+            out.push(Action::Drop(packet, DropReason::LinkFailure));
+            return;
         }
         packet.salvage += 1;
         if me == packet.src {
             // Re-discover and retry locally.
             packet.route.clear();
             packet.hop_idx = 0;
-            return self.on_app_packet(ctx, packet);
+            self.on_app_packet_into(ctx, packet, out);
+            return;
         }
         // Report the break to the source and drop the packet here.
         let my_pos = packet.hop_idx.min(packet.route.len().saturating_sub(1));
         let mut back_route: Vec<NodeId> = packet.route[..=my_pos].to_vec();
         back_route.reverse();
-        let mut actions = Vec::new();
         if back_route.len() >= 2 {
             let rerr = Packet {
                 uid: 0,
@@ -455,10 +482,48 @@ impl ReactiveRouting {
                 hop_idx: 0,
                 salvage: 0,
             };
-            actions.push(Action::Send(Frame { tx: me, rx: Some(back_route[1]), packet: rerr }));
+            out.push(Action::Send(Frame { tx: me, rx: Some(back_route[1]), packet: rerr }));
         }
-        actions.push(Action::Drop(packet, DropReason::LinkFailure));
-        actions
+        out.push(Action::Drop(packet, DropReason::LinkFailure));
+    }
+
+    // Vec-returning conveniences over the `_into` entry points, for
+    // unit tests and standalone use. The event loop always goes through
+    // the `_into` variants with a pooled buffer.
+
+    /// [`ReactiveRouting::on_app_packet_into`], collecting into a fresh `Vec`.
+    pub fn on_app_packet(&mut self, ctx: &mut RoutingCtx<'_>, packet: Packet) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_app_packet_into(ctx, packet, &mut out);
+        out
+    }
+
+    /// [`ReactiveRouting::on_frame_into`], collecting into a fresh `Vec`.
+    pub fn on_frame(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_frame_into(ctx, frame, &mut out);
+        out
+    }
+
+    /// [`ReactiveRouting::on_broadcast_into`], collecting into a fresh `Vec`.
+    pub fn on_broadcast(&mut self, ctx: &mut RoutingCtx<'_>, frame: &Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_broadcast_into(ctx, frame, &mut out);
+        out
+    }
+
+    /// [`ReactiveRouting::on_timer_into`], collecting into a fresh `Vec`.
+    pub fn on_timer(&mut self, ctx: &mut RoutingCtx<'_>, kind: TimerKind) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_timer_into(ctx, kind, &mut out);
+        out
+    }
+
+    /// [`ReactiveRouting::on_link_failure_into`], collecting into a fresh `Vec`.
+    pub fn on_link_failure(&mut self, ctx: &mut RoutingCtx<'_>, frame: Frame) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_link_failure_into(ctx, frame, &mut out);
+        out
     }
 
     fn invalidate_link(&mut self, a: NodeId, b: NodeId) {

@@ -126,12 +126,17 @@ pub struct Simulator {
     atim_cursor: Vec<SimTime>,
     next_uid: u64,
     // Reusable scratch buffers: the steady-state event loop allocates
-    // nothing of its own (routing-agent outputs and scheduled frames are
-    // the only remaining heap traffic).
+    // nothing of its own (packet payloads and scheduled frames are the
+    // only remaining heap traffic — routing-agent outputs are pooled
+    // below, pinned by crates/wireless/tests/alloc_count.rs).
     receiver_pool: Vec<Vec<NodeId>>,
     beacon_heads: Vec<(Option<NodeId>, bool)>,
     tick_batch_pool: Vec<Vec<NodeId>>,
     rc_scratch: Vec<NodeId>,
+    /// Pool of routing-agent out-buffers: every `call_routing` borrows
+    /// one and `apply_actions` returns it, so steady-state routing emits
+    /// no per-event `Vec<Action>` allocations.
+    action_pool: Vec<Vec<Action>>,
     /// Per-node count of neighbours in active mode (TITAN's backbone
     /// density), kept in lockstep with `pm_modes` and the channel's
     /// neighbour sets so routing reads it in O(1).
@@ -246,6 +251,7 @@ impl Simulator {
             beacon_heads: Vec::new(),
             tick_batch_pool: Vec::new(),
             rc_scratch: Vec::new(),
+            action_pool: Vec::new(),
             active_neighbors: vec![0; n],
             trace_bcast: std::env::var_os("EEND_TRACE_BCAST").is_some(),
             trace_beacons: std::env::var_os("EEND_TRACE_BEACONS").is_some(),
@@ -350,7 +356,7 @@ impl Simulator {
             Event::SleepCheck(u) => self.try_sleep(u),
             Event::PmKeepalive(u) => self.on_pm_keepalive(u),
             Event::RoutingTimer(u, kind) => {
-                let actions = self.call_routing(u, |r, ctx| r.on_timer(ctx, kind));
+                let actions = self.call_routing(u, |r, ctx, out| r.on_timer(ctx, kind, out));
                 self.apply_actions(u, actions);
             }
             Event::EnqueueAt(u, frame) => self.enqueue_frame(u, *frame),
@@ -460,7 +466,7 @@ impl Simulator {
             self.queue.schedule(next, Event::PacketGen(i));
         }
         self.m.data_sent += 1;
-        let actions = self.call_routing(src, |r, ctx| r.on_app_packet(ctx, packet));
+        let actions = self.call_routing(src, |r, ctx, out| r.on_app_packet(ctx, packet, out));
         self.apply_actions(src, actions);
     }
 
@@ -470,8 +476,12 @@ impl Simulator {
     fn call_routing(
         &mut self,
         u: NodeId,
-        f: impl FnOnce(&mut RoutingAgent, &mut RoutingCtx<'_>) -> Vec<Action>,
+        f: impl FnOnce(&mut RoutingAgent, &mut RoutingCtx<'_>, &mut Vec<Action>),
     ) -> Vec<Action> {
+        // Agents push into a pooled buffer (returned by apply_actions):
+        // no per-event Vec<Action> allocation in steady state.
+        let mut out = self.action_pool.pop().unwrap_or_default();
+        debug_assert!(out.is_empty());
         let Simulator { nodes, channel, pm_modes, rng, card, mac_timing, time, active_neighbors, .. } =
             self;
         let mut ctx = RoutingCtx {
@@ -484,7 +494,8 @@ impl Simulator {
             rng,
             active_neighbors: Some(active_neighbors),
         };
-        f(&mut nodes[u].routing, &mut ctx)
+        f(&mut nodes[u].routing, &mut ctx, &mut out);
+        out
     }
 
     /// Rebuilds every node's active-neighbour count from scratch (after
@@ -517,8 +528,8 @@ impl Simulator {
         }
     }
 
-    fn apply_actions(&mut self, u: NodeId, actions: Vec<Action>) {
-        for a in actions {
+    fn apply_actions(&mut self, u: NodeId, mut actions: Vec<Action>) {
+        for a in actions.drain(..) {
             match a {
                 Action::Send(frame) => self.enqueue_frame(u, frame),
                 Action::SendAt(frame, at) => {
@@ -539,6 +550,7 @@ impl Simulator {
                 }
             }
         }
+        self.action_pool.push(actions);
     }
 
     fn count_drop(&mut self, packet: &Packet, reason: DropReason) {
@@ -644,7 +656,7 @@ impl Simulator {
                     // Stale route onto a non-link: treat as immediate failure.
                     let frame = self.nodes[u].mac.drop_head().expect("head");
                     self.m.link_failures += 1;
-                    let actions = self.call_routing(u, |r, ctx| r.on_link_failure(ctx, frame));
+                    let actions = self.call_routing(u, |r, ctx, out| r.on_link_failure(ctx, frame, out));
                     self.apply_actions(u, actions);
                     self.schedule_mac_tick(u, now);
                     return;
@@ -735,7 +747,7 @@ impl Simulator {
                 if self.nodes[u].mac.retries > self.mac_timing.retry_limit {
                     let frame = self.nodes[u].mac.drop_head().expect("head still queued");
                     self.m.link_failures += 1;
-                    let actions = self.call_routing(u, |r, ctx| r.on_link_failure(ctx, frame));
+                    let actions = self.call_routing(u, |r, ctx, out| r.on_link_failure(ctx, frame, out));
                     self.apply_actions(u, actions);
                     self.schedule_mac_tick(u, now);
                 } else {
@@ -761,7 +773,7 @@ impl Simulator {
                         let frame = self.nodes[u].mac.drop_head().expect("head");
                         self.m.link_failures += 1;
                         let actions =
-                            self.call_routing(u, |r, ctx| r.on_link_failure(ctx, frame));
+                            self.call_routing(u, |r, ctx, out| r.on_link_failure(ctx, frame, out));
                         self.apply_actions(u, actions);
                         self.schedule_mac_tick(u, now);
                     } else {
@@ -780,7 +792,7 @@ impl Simulator {
                 if self.psm.span_improved && self.pm[v].announced_incoming > 0 {
                     self.pm[v].announced_incoming -= 1;
                 }
-                let actions = self.call_routing(v, |r, ctx| r.on_frame(ctx, frame));
+                let actions = self.call_routing(v, |r, ctx, out| r.on_frame(ctx, frame, out));
                 self.apply_actions(v, actions);
                 self.schedule_mac_tick(u, now);
                 self.schedule_mac_tick(v, now);
@@ -833,7 +845,7 @@ impl Simulator {
                     }
                     // Every receiver reads the same frame; agents copy
                     // packet payloads only if they forward or reply.
-                    let actions = self.call_routing(r, |rt, ctx| rt.on_broadcast(ctx, &frame));
+                    let actions = self.call_routing(r, |rt, ctx, out| rt.on_broadcast(ctx, &frame, out));
                     self.apply_actions(r, actions);
                 }
                 self.rc_scratch = interferers;
@@ -977,7 +989,7 @@ impl Simulator {
         }
         if was == PmMode::PowerSave {
             self.ensure_idle(i, self.time);
-            let actions = self.call_routing(i, |r, ctx| r.on_pm_changed(ctx, PmMode::ActiveMode));
+            let actions = self.call_routing(i, |r, ctx, out| r.on_pm_changed(ctx, PmMode::ActiveMode, out));
             self.apply_actions(i, actions);
         }
     }
@@ -991,7 +1003,7 @@ impl Simulator {
                 self.pm[i].mode = PmMode::PowerSave;
                 self.set_pm_mode(i, PmMode::PowerSave);
                 let actions =
-                    self.call_routing(i, |r, ctx| r.on_pm_changed(ctx, PmMode::PowerSave));
+                    self.call_routing(i, |r, ctx, out| r.on_pm_changed(ctx, PmMode::PowerSave, out));
                 self.apply_actions(i, actions);
                 self.try_sleep(i);
             }

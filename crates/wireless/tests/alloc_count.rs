@@ -1,0 +1,60 @@
+//! Heap-allocation budget of a steady-state run.
+//!
+//! PR 3 made the event loop allocation-free in steady state; the pooled
+//! routing out-buffers finish the job — `RoutingAgent` entry points
+//! write into recycled `Vec<Action>`s instead of returning a fresh
+//! vector per event. This test pins the whole-run allocation *count*
+//! for a fixed scenario with a counting global allocator: on this
+//! workload the pre-pool build allocates ~7.3k times, the pooled build
+//! ~2.7k (the rest is inherent packet/route traffic). The ceiling below
+//! sits between the two and fails if per-event `Vec<Action>` churn ever
+//! comes back.
+
+use eend_sim::SimDuration;
+use eend_wireless::{presets, stacks, Simulator};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_run_stays_inside_its_allocation_budget() {
+    // Warm-up run: libstd one-time setup must not count.
+    let mut scenario = presets::small_network(stacks::titan_pc(), 4.0, 1);
+    scenario.duration = SimDuration::from_secs(60);
+    let warm = Simulator::new(&scenario).run();
+    assert!(warm.data_sent > 0);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let m = Simulator::new(&scenario).run();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(m.data_sent > 0, "run must carry traffic");
+    eprintln!("ALLOC_COUNT={allocs}");
+
+    // Measured on this workload: 2,719 allocations with pooled routing
+    // buffers, 7,304 without (pre-PR build, same scenario). The ceiling
+    // sits between the two with headroom for allocator/libstd drift.
+    assert!(
+        allocs < 5_000,
+        "steady-state run allocated {allocs} times — routing out-buffer pooling regressed?"
+    );
+}

@@ -18,14 +18,28 @@
 //!                   [--node-counts 300,400] [--speeds 0,5]
 //!                   [--seeds N] [--seed-base N] [--secs S | --full-secs]
 //!                   [--workers N] [--csv | --json] [--verify-serial]
+//!                   [--out DIR] [--shard I/N] [--limit N]
 //! ```
 //!
 //! The campaign defaults sweep 4 stacks × 3 rates × 4 seeds (48 jobs) of
 //! shortened small networks. `--csv`/`--json` emit one structured record
-//! per run on stdout; otherwise aggregated per-cell figures
-//! (mean ± 95 % CI) are printed. `--verify-serial` reruns the whole grid
-//! on one worker and asserts the records are byte-identical — the
-//! executor's determinism contract.
+//! per run on stdout (`--csv` *streams* rows as jobs finish); otherwise
+//! aggregated per-cell figures (mean ± 95 % CI) are printed.
+//! `--verify-serial` reruns the whole grid on one worker and asserts the
+//! records are byte-identical — the executor's determinism contract.
+//!
+//! `--out DIR` makes the campaign **resumable**: records stream into an
+//! on-disk store (JSONL keyed by job id plus a fingerprinted manifest),
+//! completed jobs are skipped on re-runs, and a killed run loses at most
+//! one partial line. `--shard I/N` runs only every Nth job (0-based
+//! shard I) into DIR — run each shard on its own machine, then
+//! reassemble:
+//!
+//! ```text
+//! eend-cli campaign merge DIR1 DIR2 ... [--csv | --json]
+//! ```
+//!
+//! `--limit N` stops after N pending jobs (handy for testing resume).
 //!
 //! Bench mode — the end-to-end performance measurement behind the
 //! `BENCH_*.json` perf records and the `perf-smoke` CI job. Runs the
@@ -42,7 +56,10 @@
 //! `"current"` section of a committed perf record and exits non-zero on
 //! a regression beyond the tolerance.
 
-use eend::campaign::{BaseScenario, CampaignSpec, Executor};
+use eend::campaign::store::Manifest;
+use eend::campaign::{
+    merge_stores, BaseScenario, CampaignResult, CampaignSpec, CsvSink, Executor, ResultStore,
+};
 use eend::radio::cards;
 use eend::sim::SimDuration;
 use eend::stats::render_figure;
@@ -134,6 +151,9 @@ struct CampaignOpts {
     csv: bool,
     json: bool,
     verify_serial: bool,
+    out: Option<String>,
+    shard: (usize, usize),
+    limit: Option<usize>,
 }
 
 fn campaign_usage() -> ! {
@@ -143,9 +163,15 @@ fn campaign_usage() -> ! {
          \u{20}                        [--node-counts 300,400] [--speeds 0,5]\n\
          \u{20}                        [--seeds N] [--seed-base N] [--secs S | --full-secs]\n\
          \u{20}                        [--workers N] [--csv | --json] [--verify-serial]\n\
+         \u{20}                        [--out DIR] [--shard I/N] [--limit N]\n\
+         \u{20}      eend-cli campaign merge DIR1 DIR2 ... [--csv | --json]\n\
          defaults: small preset, TITAN-PC/DSR-ODPM-PC/DSR-ODPM/DSR-Active,\n\
          rates 2,4,6 Kbit/s, 4 seeds, 60 s — a 48-job grid.\n\
-         --full-secs drops the duration cap (the presets' paper-scale 600/900 s)."
+         --full-secs drops the duration cap (the presets' paper-scale 600/900 s).\n\
+         --out DIR streams records into a resumable on-disk store; re-running\n\
+         \u{20} the same campaign skips completed jobs. --shard I/N runs only\n\
+         \u{20} shard I of N (merge the shard stores afterwards); --limit N stops\n\
+         \u{20} after N pending jobs."
     );
     std::process::exit(2)
 }
@@ -212,6 +238,9 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
         csv: false,
         json: false,
         verify_serial: false,
+        out: None,
+        shard: (0, 1),
+        limit: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -247,6 +276,23 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
             "--csv" => o.csv = true,
             "--json" => o.json = true,
             "--verify-serial" => o.verify_serial = true,
+            "--out" => o.out = Some(val("--out")),
+            "--shard" => {
+                let raw = val("--shard");
+                let parsed = raw.split_once('/').and_then(|(i, n)| {
+                    Some((i.trim().parse().ok()?, n.trim().parse().ok()?))
+                });
+                match parsed {
+                    Some((i, n)) if n > 0 && i < n => o.shard = (i, n),
+                    _ => {
+                        eprintln!("error: --shard wants I/N with I < N, got {raw:?}");
+                        campaign_usage()
+                    }
+                }
+            }
+            "--limit" => {
+                o.limit = Some(val("--limit").parse().unwrap_or_else(|_| campaign_usage()))
+            }
             "--help" | "-h" => campaign_usage(),
             other => {
                 eprintln!("error: unknown campaign argument {other}");
@@ -256,6 +302,14 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
     }
     if o.stacks.is_empty() || o.seeds == 0 {
         eprintln!("error: campaign needs at least one stack and one seed");
+        campaign_usage()
+    }
+    if (o.shard != (0, 1) || o.limit.is_some()) && o.out.is_none() {
+        eprintln!("error: --shard and --limit need an on-disk store (--out DIR)");
+        campaign_usage()
+    }
+    if o.out.is_some() && o.verify_serial {
+        eprintln!("error: --verify-serial applies to in-memory runs (drop --out)");
         campaign_usage()
     }
     // Reject axes the chosen preset never reads: they would multiply the
@@ -274,6 +328,11 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
         campaign_usage()
     }
     o
+}
+
+fn die(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1)
 }
 
 fn run_campaign(o: CampaignOpts) {
@@ -315,7 +374,20 @@ fn run_campaign(o: CampaignOpts) {
         spec.stacks.len(),
         executor.workers()
     );
+    if let Some(dir) = o.out.clone() {
+        return run_campaign_store(&o, &spec, &executor, &dir);
+    }
     let start = std::time::Instant::now();
+    if o.csv && !o.verify_serial {
+        // Stream rows to stdout as jobs complete (in job order): peak
+        // memory is the executor's reorder window, not the grid.
+        let jobs = spec.expand();
+        let stdout = std::io::stdout();
+        let mut sink = CsvSink::new(&spec.name, stdout.lock());
+        executor.run_streaming(&jobs, &mut sink).unwrap_or_else(|e| die(&e));
+        eprintln!("campaign: {} records in {:.2?} (streamed)", jobs.len(), start.elapsed());
+        return;
+    }
     let result = executor.run(&spec);
     eprintln!("campaign: {} records in {:.2?}", result.records.len(), start.elapsed());
 
@@ -332,11 +404,54 @@ fn run_campaign(o: CampaignOpts) {
         );
     }
 
-    if o.csv {
+    emit_result(&result, o.csv, o.json, o.preset, o.speeds.len() > 1);
+}
+
+/// Resumable store path: stream missing jobs into `dir`, then (when the
+/// whole campaign is durable and unsharded) emit like an in-memory run.
+fn run_campaign_store(o: &CampaignOpts, spec: &CampaignSpec, executor: &Executor, dir: &str) {
+    let (si, sc) = o.shard;
+    let shard_jobs = if sc > 1 { spec.shard(si, sc) } else { spec.expand() };
+    let manifest = Manifest::for_spec(spec, si, sc);
+    let mut store = ResultStore::open(dir, manifest).unwrap_or_else(|e| die(&e));
+    let done = shard_jobs.len() - store.pending(&shard_jobs).len();
+    eprintln!(
+        "campaign: store {dir}: shard {si}/{sc} owns {} job(s), {done} already durable",
+        shard_jobs.len()
+    );
+    let start = std::time::Instant::now();
+    let ran = store.run(executor, &shard_jobs, o.limit).unwrap_or_else(|e| die(&e));
+    eprintln!("campaign: ran {ran} job(s) in {:.2?}", start.elapsed());
+    let pending = store.pending(&shard_jobs).len();
+    if pending > 0 {
+        eprintln!("campaign: {pending} job(s) still pending — re-run the same command to resume");
+        return;
+    }
+    if sc > 1 {
+        eprintln!(
+            "campaign: shard {si}/{sc} complete — reassemble with:\n  \
+             eend-cli campaign merge <all {sc} shard dirs> [--csv|--json]"
+        );
+        return;
+    }
+    let result = store.assemble(&spec.expand()).unwrap_or_else(|e| die(&e));
+    emit_result(&result, o.csv, o.json, o.preset, o.speeds.len() > 1);
+}
+
+/// Prints a finished campaign: raw CSV, raw JSON, or the aggregated
+/// per-cell figures.
+fn emit_result(
+    result: &CampaignResult,
+    csv: bool,
+    json: bool,
+    preset: BaseScenario,
+    multi_speed: bool,
+) {
+    if csv {
         print!("{}", result.to_csv());
         return;
     }
-    if o.json {
+    if json {
         println!("{}", result.to_json());
         return;
     }
@@ -360,9 +475,9 @@ fn run_campaign(o: CampaignOpts) {
         }
         vals
     };
-    let x_idx = if o.preset == BaseScenario::Density {
+    let x_idx = if preset == BaseScenario::Density {
         1
-    } else if o.speeds.len() > 1 {
+    } else if multi_speed {
         2
     } else {
         0
@@ -410,6 +525,74 @@ fn run_campaign(o: CampaignOpts) {
         let energy = subset.series(x, |m| m.enetwork_j());
         println!("{}", render_figure(&format!("Enetwork J (x = {x_name}{suffix})"), &energy));
     }
+}
+
+/// Options of the `campaign merge` subcommand.
+struct MergeOpts {
+    dirs: Vec<String>,
+    csv: bool,
+    json: bool,
+}
+
+fn merge_usage() -> ! {
+    eprintln!("usage: eend-cli campaign merge DIR1 DIR2 ... [--csv | --json]");
+    std::process::exit(2)
+}
+
+fn parse_merge(args: impl Iterator<Item = String>) -> MergeOpts {
+    let mut o = MergeOpts { dirs: Vec::new(), csv: false, json: false };
+    for a in args {
+        match a.as_str() {
+            "--csv" => o.csv = true,
+            "--json" => o.json = true,
+            "--help" | "-h" => merge_usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown merge argument {flag}");
+                merge_usage()
+            }
+            dir => o.dirs.push(dir.to_owned()),
+        }
+    }
+    if o.dirs.is_empty() {
+        eprintln!("error: merge needs at least one store directory");
+        merge_usage()
+    }
+    if o.csv && o.json {
+        eprintln!("error: pick one of --csv and --json");
+        merge_usage()
+    }
+    o
+}
+
+/// Reassembles shard stores into one campaign result. The campaign's
+/// spec is rebuilt from the first manifest's recorded axes, so the grid
+/// does not have to be re-stated; fingerprints guard against mixing
+/// stores of different campaigns.
+fn run_merge(o: MergeOpts) {
+    let stores: Vec<ResultStore> = o
+        .dirs
+        .iter()
+        .map(|d| ResultStore::open_existing(d).unwrap_or_else(|e| die(&e)))
+        .collect();
+    let first = stores[0].manifest().clone();
+    let Some(axes) = first.axes.clone() else {
+        eprintln!(
+            "error: store {} records no spec axes (not CLI-launched); \
+             merge it through the library API instead",
+            o.dirs[0]
+        );
+        std::process::exit(2)
+    };
+    let spec = axes.to_spec(&first.campaign).unwrap_or_else(|e| die(&e));
+    let jobs = spec.expand();
+    let refs: Vec<&ResultStore> = stores.iter().collect();
+    let result = merge_stores(&refs, &jobs).unwrap_or_else(|e| die(&e));
+    eprintln!(
+        "merge: {} record(s) reassembled from {} store(s)",
+        result.records.len(),
+        stores.len()
+    );
+    emit_result(&result, o.csv, o.json, spec.base, spec.speeds_mps.len() > 1);
 }
 
 /// Options of the `bench` subcommand.
@@ -642,6 +825,10 @@ fn main() {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("campaign") {
         args.next();
+        if args.peek().map(String::as_str) == Some("merge") {
+            args.next();
+            return run_merge(parse_merge(args));
+        }
         return run_campaign(parse_campaign(args));
     }
     if args.peek().map(String::as_str) == Some("bench") {
