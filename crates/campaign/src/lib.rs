@@ -5,8 +5,12 @@
 //! grid a first-class object:
 //!
 //! 1. [`CampaignSpec`] declares the axes (stacks, rates, node counts,
-//!    mobility speeds, node-failure plans, seeds) and expands their
-//!    cartesian product into a flat, deterministically-ordered job list;
+//!    mobility speeds, traffic models, radio profiles, node-failure
+//!    plans, seeds) and expands their cartesian product into a flat,
+//!    deterministically-ordered job list — workload *shape*
+//!    ([`eend_wireless::TrafficModel`]) and hardware *mix*
+//!    ([`eend_wireless::radio_profiles`]) are sweepable axes, not just
+//!    volume;
 //! 2. [`Executor`] runs the jobs on a worker pool bounded at
 //!    `available_parallelism` (or any explicit worker count) — every run
 //!    is an independent deterministic simulation, and records **stream**

@@ -111,7 +111,7 @@ impl CampaignResult {
 /// Appends the CSV header line (grid coordinates, then every
 /// [`metric_columns`] name) to `out`.
 pub fn csv_header_into(out: &mut String) {
-    out.push_str("campaign,stack,rate_kbps,nodes,speed_mps,failure,seed");
+    out.push_str("campaign,stack,rate_kbps,nodes,speed_mps,traffic,radio,failure,seed");
     for (name, _) in metric_columns() {
         out.push(',');
         out.push_str(name);
@@ -127,12 +127,14 @@ pub fn csv_row_into(out: &mut String, campaign: &str, r: &Record) {
     let p = &r.point;
     let _ = write!(
         out,
-        "{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{}",
         csv_field(campaign),
         csv_field(&p.stack.name),
         p.rate_kbps,
         p.nodes,
         p.speed_mps,
+        csv_field(&p.traffic),
+        csv_field(&p.radio),
         csv_field(&p.failure),
         p.seed
     );
@@ -151,12 +153,14 @@ pub fn json_row_into(out: &mut String, campaign: &str, r: &Record) {
     let _ = write!(
         out,
         "{{\"campaign\":{},\"stack\":{},\"rate_kbps\":{},\"nodes\":{},\
-         \"speed_mps\":{},\"failure\":{},\"seed\":{}",
+         \"speed_mps\":{},\"traffic\":{},\"radio\":{},\"failure\":{},\"seed\":{}",
         json_str(campaign),
         json_str(&p.stack.name),
         json_num(p.rate_kbps),
         p.nodes,
         json_num(p.speed_mps),
+        json_str(&p.traffic),
+        json_str(&p.radio),
         json_str(&p.failure),
         p.seed
     );
@@ -242,9 +246,10 @@ mod tests {
         let csv = res.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + res.records.len());
-        assert!(lines[0].starts_with("campaign,stack,rate_kbps,nodes,speed_mps,failure,seed"));
+        assert!(lines[0]
+            .starts_with("campaign,stack,rate_kbps,nodes,speed_mps,traffic,radio,failure,seed"));
         assert!(lines[0].contains("delivery_ratio"));
-        assert!(lines[1].starts_with("unit,TITAN-PC,2,50,0,none,1"));
+        assert!(lines[1].starts_with("unit,TITAN-PC,2,50,0,cbr,uniform,none,1"));
         let cols = lines[0].split(',').count();
         for l in &lines[1..] {
             assert_eq!(l.split(',').count(), cols);

@@ -2,12 +2,17 @@
 //!
 //! A [`CampaignSpec`] names a cartesian grid over the evaluation axes of
 //! the paper's Section 5 — protocol stacks × traffic rates × network
-//! sizes × mobility speeds × failure plans × seeds — and expands it into
-//! a flat, deterministically-ordered job list for the
-//! [`executor`](crate::executor).
+//! sizes × mobility speeds × traffic models × radio profiles × failure
+//! plans × seeds — and expands it into a flat, deterministically-ordered
+//! job list for the [`executor`](crate::executor). Traffic models,
+//! per-node radio heterogeneity and failure plans go beyond the paper's
+//! homogeneous CBR evaluation (see the ROADMAP's scenario-diversity
+//! item): every cell of the grid can vary the *shape* of the workload
+//! and the *mix* of hardware, not just its volume.
 
 use eend_sim::SimDuration;
-use eend_wireless::{presets, Mobility, ProtocolStack, Scenario};
+use eend_wireless::radio_profiles::RadioProfile;
+use eend_wireless::{presets, CardAssignment, Mobility, ProtocolStack, Scenario, TrafficModel};
 
 /// The scenario family a campaign sweeps over — which paper preset (or
 /// custom builder) turns a [`GridPoint`] into a runnable [`Scenario`].
@@ -82,6 +87,11 @@ pub struct GridPoint {
     pub nodes: usize,
     /// Random-waypoint top speed, m/s (0 = static, the paper's setting).
     pub speed_mps: f64,
+    /// Traffic-model label ([`TrafficModel::label`]; `"cbr"` when the
+    /// axis is not swept).
+    pub traffic: String,
+    /// Radio-profile name (`"uniform"` when the axis is not swept).
+    pub radio: String,
     /// Failure-injection plan label.
     pub failure: String,
     /// Master seed of the run.
@@ -102,7 +112,8 @@ pub struct Job {
 
 /// A declarative scenario-matrix sweep: the cartesian product of every
 /// non-empty axis, expanded in lexicographic order (stacks, then rates,
-/// then node counts, then speeds, then failure plans, then seeds).
+/// then node counts, then speeds, then traffic models, then radio
+/// profiles, then failure plans, then seeds).
 ///
 /// Seeds are mapped deterministically: job `k` of a cell uses
 /// `seed_base + k + 1`, matching the 1-based seeds of the original
@@ -141,6 +152,12 @@ pub struct CampaignSpec {
     /// Random-waypoint top speeds in m/s; 0 keeps the paper's static
     /// setting. Empty = `[0.0]`.
     pub speeds_mps: Vec<f64>,
+    /// Traffic-model axis. Empty = `[TrafficModel::Cbr]` (the paper's
+    /// workload).
+    pub traffic_models: Vec<TrafficModel>,
+    /// Radio-profile axis (named per-node card assignments). Empty =
+    /// the preset's homogeneous card.
+    pub radio_profiles: Vec<RadioProfile>,
     /// Failure-injection plans. Empty = no failures.
     pub failures: Vec<FailurePlan>,
     /// Seeded runs per cell.
@@ -161,6 +178,8 @@ impl CampaignSpec {
             rates_kbps: Vec::new(),
             node_counts: Vec::new(),
             speeds_mps: Vec::new(),
+            traffic_models: Vec::new(),
+            radio_profiles: Vec::new(),
             failures: Vec::new(),
             seed_count: 1,
             seed_base: 0,
@@ -189,6 +208,18 @@ impl CampaignSpec {
     /// Sets the mobility-speed axis (m/s; 0 = static).
     pub fn speeds(mut self, speeds: Vec<f64>) -> CampaignSpec {
         self.speeds_mps = speeds;
+        self
+    }
+
+    /// Sets the traffic-model axis.
+    pub fn traffic(mut self, models: Vec<TrafficModel>) -> CampaignSpec {
+        self.traffic_models = models;
+        self
+    }
+
+    /// Sets the radio-profile axis.
+    pub fn radio_profiles(mut self, profiles: Vec<RadioProfile>) -> CampaignSpec {
+        self.radio_profiles = profiles;
         self
     }
 
@@ -230,6 +261,8 @@ impl CampaignSpec {
             * self.rates_kbps.len().max(1)
             * nodes_axis
             * self.speeds_mps.len().max(1)
+            * self.traffic_models.len().max(1)
+            * self.radio_profiles.len().max(1)
             * self.failures.len().max(1)
             * self.seed_count as usize
     }
@@ -255,11 +288,26 @@ impl CampaignSpec {
     /// the escape hatch for figure binaries whose scenarios are not one
     /// of the four presets. Duration override, mobility, and failure
     /// injection are still applied by the spec after the builder runs.
+    /// Traffic models and radio profiles are applied only when their
+    /// axis is explicitly set (an explicit axis overrides the builder,
+    /// uniform/CBR included; an absent one preserves the builder's
+    /// choices) — and each [`GridPoint`] labels the model and
+    /// assignment the scenario actually runs.
     pub fn expand_with(&self, build: impl Fn(&GridPoint) -> Scenario) -> Vec<Job> {
         let one = |v: &Vec<f64>, d: f64| if v.is_empty() { vec![d] } else { v.clone() };
         let rates = one(&self.rates_kbps, self.default_rate());
         let nodes = if self.node_counts.is_empty() { vec![0] } else { self.node_counts.clone() };
         let speeds = one(&self.speeds_mps, 0.0);
+        let traffic = if self.traffic_models.is_empty() {
+            vec![TrafficModel::Cbr]
+        } else {
+            self.traffic_models.clone()
+        };
+        let radios = if self.radio_profiles.is_empty() {
+            vec![eend_wireless::radio_profiles::uniform()]
+        } else {
+            self.radio_profiles.clone()
+        };
         let failures =
             if self.failures.is_empty() { vec![FailurePlan::none()] } else { self.failures.clone() };
 
@@ -268,35 +316,66 @@ impl CampaignSpec {
             for &rate in &rates {
                 for &n in &nodes {
                     for &speed in &speeds {
-                        for plan in &failures {
-                            for k in 0..self.seed_count {
-                                let mut point = GridPoint {
-                                    stack: stack.clone(),
-                                    rate_kbps: rate,
-                                    nodes: n,
-                                    speed_mps: speed,
-                                    failure: plan.label.clone(),
-                                    seed: self.seed_base + k + 1,
-                                };
-                                let mut scenario = build(&point);
-                                point.nodes = scenario.placement.node_count();
-                                if let Some(secs) = self.secs {
-                                    scenario.duration = SimDuration::from_secs(secs);
+                        for model in &traffic {
+                            for profile in &radios {
+                                for plan in &failures {
+                                    for k in 0..self.seed_count {
+                                        let mut point = GridPoint {
+                                            stack: stack.clone(),
+                                            rate_kbps: rate,
+                                            nodes: n,
+                                            speed_mps: speed,
+                                            traffic: model.label(),
+                                            radio: profile.name.to_owned(),
+                                            failure: plan.label.clone(),
+                                            seed: self.seed_base + k + 1,
+                                        };
+                                        let mut scenario = build(&point);
+                                        point.nodes = scenario.placement.node_count();
+                                        if let Some(secs) = self.secs {
+                                            scenario.duration = SimDuration::from_secs(secs);
+                                        }
+                                        if speed > 0.0 {
+                                            scenario =
+                                                scenario.with_mobility(Mobility::random_waypoint(
+                                                    (speed / 2.0).max(0.1),
+                                                    speed,
+                                                    5.0,
+                                                ));
+                                        }
+                                        // An explicitly-set axis overrides whatever the
+                                        // builder produced (uniform included); an absent
+                                        // axis leaves a custom builder's choices intact.
+                                        // Either way the point labels what actually runs.
+                                        if !self.traffic_models.is_empty() {
+                                            scenario.flows =
+                                                scenario.flows.with_model(model.clone());
+                                        }
+                                        point.traffic = scenario.flows.model.label();
+                                        if !self.radio_profiles.is_empty() {
+                                            scenario = scenario
+                                                .with_card_assignment(profile.assignment.clone());
+                                        } else if scenario.card_assignment
+                                            != CardAssignment::Uniform
+                                        {
+                                            // A builder-set mix with no radio axis: recover
+                                            // the registry name when the assignment is a
+                                            // known profile; otherwise label it "custom".
+                                            point.radio = eend_wireless::radio_profiles::all()
+                                                .into_iter()
+                                                .find(|p| p.assignment == scenario.card_assignment)
+                                                .map(|p| p.name.to_owned())
+                                                .unwrap_or_else(|| "custom".to_owned());
+                                        }
+                                        for &(at_s, node) in &plan.kills {
+                                            scenario = scenario.with_node_failure(
+                                                eend_sim::SimTime::from_secs_f64(at_s),
+                                                node,
+                                            );
+                                        }
+                                        jobs.push(Job { index: jobs.len(), point, scenario });
+                                    }
                                 }
-                                if speed > 0.0 {
-                                    scenario = scenario.with_mobility(Mobility::random_waypoint(
-                                        (speed / 2.0).max(0.1),
-                                        speed,
-                                        5.0,
-                                    ));
-                                }
-                                for &(at_s, node) in &plan.kills {
-                                    scenario = scenario.with_node_failure(
-                                        eend_sim::SimTime::from_secs_f64(at_s),
-                                        node,
-                                    );
-                                }
-                                jobs.push(Job { index: jobs.len(), point, scenario });
                             }
                         }
                     }
@@ -431,6 +510,99 @@ mod tests {
         // Jobs keep their global index.
         let shard1 = spec.shard(1, 3);
         assert!(shard1.iter().all(|j| j.index % 3 == 1));
+    }
+
+    #[test]
+    fn traffic_and_radio_axes_expand_and_configure_scenarios() {
+        use eend_wireless::{radio_profiles, CardAssignment, TrafficModel};
+        let spec = CampaignSpec::new("t", BaseScenario::Small)
+            .stacks(vec![stacks::dsr_active()])
+            .rates(vec![4.0])
+            .traffic(vec![TrafficModel::Cbr, TrafficModel::Poisson])
+            .radio_profiles(vec![radio_profiles::uniform(), radio_profiles::mixed_hypo()])
+            .seeds(1);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.job_count());
+        assert_eq!(jobs.len(), 4);
+        // Traffic varies slower than radio (lexicographic order).
+        let coords: Vec<(&str, &str)> =
+            jobs.iter().map(|j| (j.point.traffic.as_str(), j.point.radio.as_str())).collect();
+        assert_eq!(
+            coords,
+            [
+                ("cbr", "uniform"),
+                ("cbr", "mixed-hypo"),
+                ("poisson", "uniform"),
+                ("poisson", "mixed-hypo"),
+            ]
+        );
+        assert_eq!(jobs[0].scenario.flows.model, TrafficModel::Cbr);
+        assert_eq!(jobs[0].scenario.card_assignment, CardAssignment::Uniform);
+        assert_eq!(jobs[2].scenario.flows.model, TrafficModel::Poisson);
+        assert!(matches!(jobs[3].scenario.card_assignment, CardAssignment::Alternating(_)));
+    }
+
+    #[test]
+    fn default_axes_leave_the_grid_and_scenarios_unchanged() {
+        use eend_wireless::{CardAssignment, TrafficModel};
+        let spec = CampaignSpec::new("t", BaseScenario::Small)
+            .stacks(vec![stacks::dsr_active()])
+            .rates(vec![2.0, 4.0])
+            .seeds(2);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 4, "absent axes must not multiply the grid");
+        for j in &jobs {
+            assert_eq!(j.point.traffic, "cbr");
+            assert_eq!(j.point.radio, "uniform");
+            assert_eq!(j.scenario.flows.model, TrafficModel::Cbr);
+            assert_eq!(j.scenario.card_assignment, CardAssignment::Uniform);
+        }
+    }
+
+    #[test]
+    fn absent_axes_preserve_a_custom_builders_model_and_cards() {
+        use eend_wireless::{presets, radio_profiles, CardAssignment, TrafficModel};
+        let custom = |p: &GridPoint| {
+            let mut s = presets::small_network(p.stack.clone(), p.rate_kbps, p.seed)
+                .with_card_assignment(radio_profiles::mixed_hypo().assignment);
+            s.flows = s.flows.with_model(TrafficModel::Poisson);
+            s
+        };
+        // No traffic/radio axes: the builder's choices survive and the
+        // point labels what actually runs (registry assignments recover
+        // their name; unnamed mixes are labelled "custom").
+        let spec = CampaignSpec::new("t", BaseScenario::Small)
+            .stacks(vec![stacks::dsr_active()])
+            .rates(vec![4.0]);
+        let jobs = spec.expand_with(custom);
+        assert_eq!(jobs[0].scenario.flows.model, TrafficModel::Poisson);
+        assert!(matches!(jobs[0].scenario.card_assignment, CardAssignment::Alternating(_)));
+        assert_eq!(jobs[0].point.traffic, "poisson", "label must reflect the run");
+        assert_eq!(jobs[0].point.radio, "mixed-hypo", "registry assignments recover their name");
+        let unnamed = |p: &GridPoint| {
+            presets::small_network(p.stack.clone(), p.rate_kbps, p.seed).with_card_assignment(
+                CardAssignment::Alternating(vec![
+                    eend_radio::cards::cabletron(),
+                    eend_radio::cards::cabletron(),
+                    eend_radio::cards::cabletron(),
+                    eend_radio::cards::hypothetical_cabletron(),
+                ]),
+            )
+        };
+        assert_eq!(
+            spec.expand_with(unnamed)[0].point.radio,
+            "custom",
+            "unnamed builder mix is labelled custom"
+        );
+        // Explicit axes override the builder — uniform/CBR included.
+        let jobs = spec
+            .clone()
+            .traffic(vec![TrafficModel::Cbr])
+            .radio_profiles(vec![radio_profiles::uniform()])
+            .expand_with(custom);
+        assert_eq!(jobs[0].scenario.flows.model, TrafficModel::Cbr);
+        assert_eq!(jobs[0].scenario.card_assignment, CardAssignment::Uniform);
+        assert_eq!((jobs[0].point.traffic.as_str(), jobs[0].point.radio.as_str()), ("cbr", "uniform"));
     }
 
     #[test]

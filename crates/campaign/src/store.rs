@@ -30,7 +30,7 @@
 use crate::executor::Executor;
 use crate::report::{json_num, json_str, CampaignResult, Record};
 use crate::sink::RecordSink;
-use crate::spec::{BaseScenario, CampaignSpec, Job};
+use crate::spec::{BaseScenario, CampaignSpec, FailurePlan, Job};
 use eend_radio::EnergyReport;
 use eend_sim::SimDuration;
 use eend_wireless::{stacks, RunMetrics};
@@ -67,6 +67,11 @@ pub fn fingerprint(campaign: &str, jobs: &[Job]) -> u64 {
         h.u64(j.point.rate_kbps.to_bits());
         h.u64(j.point.nodes as u64);
         h.u64(j.point.speed_mps.to_bits());
+        // The traffic label carries the model's parameters
+        // (`TrafficModel::label`) and the radio label names a fixed
+        // registry profile, so hashing the labels pins both axes.
+        h.str(&j.point.traffic);
+        h.str(&j.point.radio);
         h.str(&j.point.failure);
         h.u64(j.point.seed);
         h.u64(j.scenario.duration.as_nanos());
@@ -78,8 +83,40 @@ pub fn fingerprint(campaign: &str, jobs: &[Job]) -> u64 {
             h.u64(at.as_nanos());
             h.u64(node as u64);
         }
+        // Likewise the radio label: every unnamed builder-supplied mix
+        // is spelled "custom", so hash the actual base card and
+        // per-node assignment or two different hardware mixes would
+        // resume into one store.
+        hash_card(&mut h, &j.scenario.card);
+        match &j.scenario.card_assignment {
+            eend_wireless::CardAssignment::Uniform => h.u64(0),
+            eend_wireless::CardAssignment::Alternating(cards) => {
+                h.u64(1 + cards.len() as u64);
+                for c in cards {
+                    hash_card(&mut h, c);
+                }
+            }
+        }
     }
     h.finish()
+}
+
+/// Hashes a radio card's identity: name plus every power-model
+/// parameter, so even two cards sharing a name cannot collide.
+fn hash_card(h: &mut Fnv, c: &eend_radio::RadioCard) {
+    h.str(c.name);
+    for v in [
+        c.p_idle_mw,
+        c.p_rx_mw,
+        c.p_sleep_mw,
+        c.p_base_mw,
+        c.alpha2,
+        c.path_loss_n,
+        c.nominal_range_m,
+        c.switch_energy_mj,
+    ] {
+        h.u64(v.to_bits());
+    }
 }
 
 /// FNV-1a, 64-bit: tiny, stable across platforms, good enough to tell
@@ -115,10 +152,15 @@ impl Fnv {
 
 /// The axes of a CLI-launched campaign, as stored in a manifest so that
 /// `merge` (and a resume on another machine) can rebuild the spec
-/// without the user re-stating it. Stacks are stored by name and
-/// resolved through [`eend_wireless::stacks::by_name`]; campaigns built
-/// around custom [`crate::spec::CampaignSpec::expand_with`] builders
-/// cannot be represented here and use the job-list APIs directly.
+/// without the user re-stating it. Stacks, traffic models and radio
+/// profiles are stored by name/label and resolved through their
+/// registries ([`eend_wireless::stacks::by_name`],
+/// [`eend_wireless::TrafficModel::parse`],
+/// [`eend_wireless::radio_profiles::by_name`]); failure plans serialize
+/// in full (label + kill schedule). Campaigns whose stacks or profiles
+/// are not registry members — typically custom
+/// [`crate::spec::CampaignSpec::expand_with`] builders — cannot be
+/// represented here and use the job-list APIs directly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpecAxes {
     /// Preset family ([`BaseScenario::name`] spelling).
@@ -131,6 +173,13 @@ pub struct SpecAxes {
     pub node_counts: Vec<usize>,
     /// Mobility-speed axis (m/s).
     pub speeds: Vec<f64>,
+    /// Traffic-model axis ([`eend_wireless::TrafficModel::label`]
+    /// spellings); empty = CBR only.
+    pub traffic: Vec<String>,
+    /// Radio-profile axis (registry names); empty = uniform only.
+    pub radio: Vec<String>,
+    /// Failure-plan axis (full plans, not just labels); empty = none.
+    pub failures: Vec<FailurePlan>,
     /// Seeded runs per cell.
     pub seeds: u64,
     /// Seed offset.
@@ -140,11 +189,20 @@ pub struct SpecAxes {
 }
 
 impl SpecAxes {
-    /// Captures the axes of `spec` (stacks by name). Failure plans are
-    /// not CLI-expressible and must be empty.
+    /// Captures the axes of `spec` (stacks, traffic models and radio
+    /// profiles by name; failure plans in full). Returns `None` when a
+    /// stack or radio profile is not a registry member — such a spec
+    /// cannot be rebuilt from names alone.
     pub fn of(spec: &CampaignSpec) -> Option<SpecAxes> {
-        if !spec.failures.is_empty() {
-            return None;
+        for s in &spec.stacks {
+            if stacks::by_name(&s.name).as_ref() != Some(s) {
+                return None;
+            }
+        }
+        for p in &spec.radio_profiles {
+            if eend_wireless::radio_profiles::by_name(p.name).as_ref() != Some(p) {
+                return None;
+            }
         }
         Some(SpecAxes {
             preset: spec.base.name().to_owned(),
@@ -152,6 +210,9 @@ impl SpecAxes {
             rates: spec.rates_kbps.clone(),
             node_counts: spec.node_counts.clone(),
             speeds: spec.speeds_mps.clone(),
+            traffic: spec.traffic_models.iter().map(|m| m.label()).collect(),
+            radio: spec.radio_profiles.iter().map(|p| p.name.to_owned()).collect(),
+            failures: spec.failures.clone(),
             seeds: spec.seed_count,
             seed_base: spec.seed_base,
             secs: spec.secs,
@@ -168,11 +229,26 @@ impl SpecAxes {
                 bad_data(format!("manifest names unknown stack {name:?}"))
             })?);
         }
+        let mut traffic = Vec::with_capacity(self.traffic.len());
+        for label in &self.traffic {
+            traffic.push(eend_wireless::TrafficModel::parse(label).ok_or_else(|| {
+                bad_data(format!("manifest names unknown traffic model {label:?}"))
+            })?);
+        }
+        let mut radio = Vec::with_capacity(self.radio.len());
+        for name in &self.radio {
+            radio.push(eend_wireless::radio_profiles::by_name(name).ok_or_else(|| {
+                bad_data(format!("manifest names unknown radio profile {name:?}"))
+            })?);
+        }
         let mut spec = CampaignSpec::new(campaign, base)
             .stacks(stack_list)
             .rates(self.rates.clone())
             .node_counts(self.node_counts.clone())
             .speeds(self.speeds.clone())
+            .traffic(traffic)
+            .radio_profiles(radio)
+            .failures(self.failures.clone())
             .seeds(self.seeds)
             .seed_base(self.seed_base);
         if let Some(secs) = self.secs {
@@ -223,7 +299,7 @@ impl Manifest {
         let mut s = String::from("{");
         let _ = write!(
             s,
-            "\"version\":1,\"campaign\":{},\"fingerprint\":\"{:016x}\",\
+            "\"version\":2,\"campaign\":{},\"fingerprint\":\"{:016x}\",\
              \"total_jobs\":{},\"shard_index\":{},\"shard_count\":{}",
             json_str(&self.campaign),
             self.fingerprint,
@@ -234,16 +310,33 @@ impl Manifest {
         match &self.axes {
             None => s.push_str(",\"axes\":null"),
             Some(a) => {
+                let failures = a
+                    .failures
+                    .iter()
+                    .map(|p| {
+                        let kills = p
+                            .kills
+                            .iter()
+                            .map(|&(at, node)| format!("[{},{node}]", json_num(at)))
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        format!("{{\"label\":{},\"kills\":[{kills}]}}", json_str(&p.label))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
                 let _ = write!(
                     s,
                     ",\"axes\":{{\"preset\":{},\"stacks\":[{}],\"rates\":[{}],\
-                     \"node_counts\":[{}],\"speeds\":[{}],\"seeds\":{},\"seed_base\":{},\
-                     \"secs\":{}}}",
+                     \"node_counts\":[{}],\"speeds\":[{}],\"traffic\":[{}],\
+                     \"radio\":[{}],\"failures\":[{failures}],\"seeds\":{},\
+                     \"seed_base\":{},\"secs\":{}}}",
                     json_str(&a.preset),
                     a.stacks.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(","),
                     a.rates.iter().map(|r| json_num(*r)).collect::<Vec<_>>().join(","),
                     a.node_counts.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
                     a.speeds.iter().map(|v| json_num(*v)).collect::<Vec<_>>().join(","),
+                    a.traffic.iter().map(|t| json_str(t)).collect::<Vec<_>>().join(","),
+                    a.radio.iter().map(|r| json_str(r)).collect::<Vec<_>>().join(","),
                     a.seeds,
                     a.seed_base,
                     match a.secs {
@@ -259,6 +352,17 @@ impl Manifest {
 
     fn from_json(text: &str) -> io::Result<Manifest> {
         let v = parse_json(text)?;
+        // Version 2 added the traffic/radio/failure axes (and axis
+        // identity on record lines); older stores cannot be resumed by
+        // this build — say so instead of failing on a missing key.
+        let version = v.get("version")?.u64()?;
+        if version != 2 {
+            return Err(bad_data(format!(
+                "store manifest version {version} is not supported by this build \
+                 (expected 2); re-run the campaign into a fresh store or merge it \
+                 with the binary that wrote it"
+            )));
+        }
         let fp_hex = v.get("fingerprint")?.str()?;
         let fingerprint = u64::from_str_radix(fp_hex, 16)
             .map_err(|_| bad_data(format!("bad fingerprint {fp_hex:?}")))?;
@@ -280,6 +384,40 @@ impl Manifest {
                     .map(|x| x.usize())
                     .collect::<io::Result<_>>()?,
                 speeds: a.get("speeds")?.arr()?.iter().map(|x| x.f64()).collect::<io::Result<_>>()?,
+                traffic: a
+                    .get("traffic")?
+                    .arr()?
+                    .iter()
+                    .map(|t| t.str().map(str::to_owned))
+                    .collect::<io::Result<_>>()?,
+                radio: a
+                    .get("radio")?
+                    .arr()?
+                    .iter()
+                    .map(|r| r.str().map(str::to_owned))
+                    .collect::<io::Result<_>>()?,
+                failures: a
+                    .get("failures")?
+                    .arr()?
+                    .iter()
+                    .map(|p| {
+                        Ok(FailurePlan {
+                            label: p.get("label")?.str()?.to_owned(),
+                            kills: p
+                                .get("kills")?
+                                .arr()?
+                                .iter()
+                                .map(|k| {
+                                    let k = k.arr()?;
+                                    if k.len() != 2 {
+                                        return Err(bad_data("kill needs [secs, node]"));
+                                    }
+                                    Ok((k[0].f64()?, k[1].usize()?))
+                                })
+                                .collect::<io::Result<_>>()?,
+                        })
+                    })
+                    .collect::<io::Result<_>>()?,
                 seeds: a.get("seeds")?.u64()?,
                 seed_base: a.get("seed_base")?.u64()?,
                 secs: match a.get("secs")? {
@@ -667,9 +805,11 @@ fn record_line_into(out: &mut String, id: usize, record: &Record) {
     let m = &record.metrics;
     let _ = write!(
         out,
-        "{{\"job\":{id},\"stack\":{},\"seed\":{},\"metrics\":{{",
+        "{{\"job\":{id},\"stack\":{},\"seed\":{},\"traffic\":{},\"radio\":{},\"metrics\":{{",
         json_str(&p.stack.name),
-        p.seed
+        p.seed,
+        json_str(&p.traffic),
+        json_str(&p.radio)
     );
     let _ = write!(
         out,
@@ -771,11 +911,14 @@ fn metrics_from_json(v: &JVal) -> io::Result<RunMetrics> {
 pub(crate) fn verify_line_identity(v: &JVal, job: &Job) -> io::Result<()> {
     let stack = v.get("stack")?.str()?;
     let seed = v.get("seed")?.u64()?;
-    if stack != job.point.stack.name || seed != job.point.seed {
+    let traffic = v.get("traffic")?.str()?;
+    let radio = v.get("radio")?.str()?;
+    let p = &job.point;
+    if stack != p.stack.name || seed != p.seed || traffic != p.traffic || radio != p.radio {
         return Err(bad_data(format!(
-            "record for job {} claims ({stack:?}, seed {seed}) but the spec expands to \
-             ({:?}, seed {})",
-            job.index, job.point.stack.name, job.point.seed
+            "record for job {} claims ({stack:?}, seed {seed}, traffic {traffic:?}, \
+             radio {radio:?}) but the spec expands to ({:?}, seed {}, traffic {:?}, radio {:?})",
+            job.index, p.stack.name, p.seed, p.traffic, p.radio
         )));
     }
     Ok(())
@@ -1069,6 +1212,29 @@ mod tests {
         assert_ne!(reference, fp(&base.clone().seed_base(7)));
         assert_ne!(reference, fp(&base.clone().secs(31)));
         assert_ne!(reference, fp(&base.clone().stacks(vec![stacks::dsr_active()])));
+        assert_ne!(
+            reference,
+            fp(&base.clone().traffic(vec![eend_wireless::TrafficModel::Poisson])),
+            "traffic axis must change the fingerprint"
+        );
+        assert_ne!(
+            fp(&base.clone().traffic(vec![eend_wireless::TrafficModel::OnOffBurst {
+                mean_on_s: 5.0,
+                mean_off_s: 5.0
+            }])),
+            fp(&base.clone().traffic(vec![eend_wireless::TrafficModel::OnOffBurst {
+                mean_on_s: 5.0,
+                mean_off_s: 9.0
+            }])),
+            "on/off parameters must not collide"
+        );
+        assert_ne!(
+            reference,
+            fp(&base
+                .clone()
+                .radio_profiles(vec![eend_wireless::radio_profiles::mixed_hypo()])),
+            "radio axis must change the fingerprint"
+        );
         // Same failure label, different kill schedule: must differ too.
         let plan = |node| {
             crate::FailurePlan { label: "kill".to_owned(), kills: vec![(10.0, node)] }
@@ -1081,12 +1247,61 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_distinguishes_unnamed_card_mixes() {
+        use crate::{BaseScenario, CampaignSpec};
+        use eend_wireless::{presets, stacks, CardAssignment};
+        // Two expand_with builders whose card mixes differ but share the
+        // "custom" label: the fingerprint must still tell them apart.
+        let spec = CampaignSpec::new("fp", BaseScenario::Small)
+            .stacks(vec![stacks::titan_pc()])
+            .rates(vec![4.0])
+            .secs(20);
+        let with_mix = |cards: Vec<eend_radio::RadioCard>| {
+            spec.expand_with(move |p| {
+                presets::small_network(p.stack.clone(), p.rate_kbps, p.seed)
+                    .with_card_assignment(CardAssignment::Alternating(cards.clone()))
+            })
+        };
+        let a = with_mix(vec![
+            eend_radio::cards::cabletron(),
+            eend_radio::cards::cabletron(),
+            eend_radio::cards::cabletron(),
+            eend_radio::cards::hypothetical_cabletron(),
+        ]);
+        let b = with_mix(vec![
+            eend_radio::cards::cabletron(),
+            eend_radio::cards::hypothetical_cabletron(),
+            eend_radio::cards::hypothetical_cabletron(),
+            eend_radio::cards::hypothetical_cabletron(),
+        ]);
+        assert_eq!(a[0].point.radio, "custom");
+        assert_eq!(b[0].point.radio, "custom");
+        assert_ne!(
+            fingerprint("fp", &a),
+            fingerprint("fp", &b),
+            "identically-labelled card mixes must not collide"
+        );
+    }
+
+    #[test]
     fn manifest_round_trips_with_and_without_axes() {
         use crate::{BaseScenario, CampaignSpec};
         use eend_wireless::stacks;
         let spec = CampaignSpec::new("mrt", BaseScenario::Density)
             .stacks(vec![stacks::titan_pc(), stacks::dsr_odpm_pc()])
             .node_counts(vec![300, 400])
+            .traffic(vec![
+                eend_wireless::TrafficModel::Cbr,
+                eend_wireless::TrafficModel::OnOffBurst { mean_on_s: 2.5, mean_off_s: 7.5 },
+            ])
+            .radio_profiles(vec![
+                eend_wireless::radio_profiles::uniform(),
+                eend_wireless::radio_profiles::sparse_hypo(),
+            ])
+            .failures(vec![
+                crate::FailurePlan::none(),
+                crate::FailurePlan::kill("kill-relay", 60.5, 3),
+            ])
             .seeds(2)
             .seed_base(10)
             .secs(45);
@@ -1100,6 +1315,18 @@ mod tests {
         let mut no_axes = Manifest::for_spec(&spec, 0, 1);
         no_axes.axes = None;
         assert_eq!(Manifest::from_json(&no_axes.to_json()).unwrap(), no_axes);
+    }
+
+    #[test]
+    fn pre_axis_manifests_are_refused_with_a_version_message() {
+        // A version-1 manifest (written before the traffic/radio/failure
+        // axes existed) must fail with a version diagnosis, not an
+        // opaque missing-key parse error.
+        let v1 = r#"{"version":1,"campaign":"old","fingerprint":"00000000000000aa",
+            "total_jobs":4,"shard_index":0,"shard_count":1,"axes":null}"#;
+        let err = Manifest::from_json(v1).unwrap_err();
+        assert!(err.to_string().contains("version 1"), "got: {err}");
+        assert!(err.to_string().contains("not supported"), "got: {err}");
     }
 
     #[test]

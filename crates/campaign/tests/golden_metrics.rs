@@ -15,7 +15,10 @@
 //! stable across runs and machines building with the same std.
 
 use eend_sim::SimDuration;
-use eend_wireless::{presets, stacks, ProtocolStack, Simulator};
+use eend_wireless::{
+    presets, radio_profiles, stacks, CardAssignment, ProtocolStack, Scenario, Simulator,
+    TrafficModel,
+};
 use std::path::PathBuf;
 
 /// One pinned scenario per stack family: reactive hop-count (DSR),
@@ -54,13 +57,11 @@ fn first_diff(a: &str, b: &str) -> String {
     format!("line counts differ: golden {} vs actual {}", a.lines().count(), b.lines().count())
 }
 
-#[test]
-fn run_metrics_match_golden_snapshots() {
+fn check_snapshots(snapshots: Vec<(String, String)>) {
     let bless = std::env::var_os("EEND_BLESS").is_some();
     let mut failures = Vec::new();
-    for (name, stack) in families() {
-        let actual = render(name, &stack);
-        let path = golden_path(name);
+    for (name, actual) in snapshots {
+        let path = golden_path(&name);
         if bless {
             std::fs::write(&path, &actual).unwrap();
             continue;
@@ -78,6 +79,81 @@ fn run_metrics_match_golden_snapshots() {
          (EEND_BLESS=1 regenerates after an intentional change):\n{}",
         failures.join("\n")
     );
+}
+
+#[test]
+fn run_metrics_match_golden_snapshots() {
+    check_snapshots(
+        families().into_iter().map(|(name, stack)| (name.to_owned(), render(name, &stack))).collect(),
+    );
+}
+
+/// The scenario-diversity matrix: {Poisson, on/off burst} × {homogeneous,
+/// mixed-card} cells of the same shortened small-network scenario the
+/// stack-family snapshots pin. Every cell's full `RunMetrics` rendering
+/// is blessed to a committed file, so traffic-model or heterogeneous-
+/// radio behaviour can only drift loudly.
+fn diversity_matrix() -> Vec<(String, Scenario)> {
+    let models = [
+        ("poisson", TrafficModel::Poisson),
+        ("onoff", TrafficModel::OnOffBurst { mean_on_s: 5.0, mean_off_s: 5.0 }),
+    ];
+    let radios = [
+        ("uniform", CardAssignment::Uniform),
+        ("mixed", radio_profiles::mixed_hypo().assignment),
+    ];
+    let mut out = Vec::new();
+    for (mname, model) in &models {
+        for (rname, assignment) in &radios {
+            let mut scenario = presets::small_network(stacks::titan_pc(), 4.0, 7)
+                .with_card_assignment(assignment.clone());
+            scenario.flows = scenario.flows.with_model(model.clone());
+            scenario.duration = SimDuration::from_secs(40);
+            out.push((format!("traffic_{mname}_{rname}"), scenario));
+        }
+    }
+    out
+}
+
+#[test]
+fn traffic_and_radio_matrix_matches_golden_snapshots() {
+    check_snapshots(
+        diversity_matrix()
+            .into_iter()
+            .map(|(name, scenario)| {
+                let metrics = Simulator::new(&scenario).run();
+                assert!(metrics.data_sent > 0, "{name}: no traffic; snapshot is vacuous");
+                (name, format!("{metrics:#?}\n"))
+            })
+            .collect(),
+    );
+}
+
+/// The CBR regression pin (no `EEND_BLESS` involved): the traffic-model
+/// refactor routed the paper's workload through `TrafficModel::Cbr`,
+/// and this asserts — at runtime, against the same scenario the golden
+/// files pin — that the default construction, an explicitly-set CBR
+/// model, and the builder spelling are all the *same* path producing
+/// identical `RunMetrics`. Together with the untouched committed
+/// snapshots above, this pins CBR as byte-identical to the
+/// pre-refactor `FlowSpec` implementation.
+#[test]
+fn cbr_model_is_the_default_path_with_identical_metrics() {
+    let mut default_scenario = presets::small_network(stacks::titan_pc(), 4.0, 7);
+    default_scenario.duration = SimDuration::from_secs(40);
+    assert_eq!(default_scenario.flows.model, TrafficModel::Cbr, "CBR must stay the default");
+
+    let mut explicit = default_scenario.clone();
+    explicit.flows.model = TrafficModel::Cbr;
+    let mut via_builder = default_scenario.clone();
+    via_builder.flows = via_builder.flows.with_model(TrafficModel::Cbr);
+
+    let reference = Simulator::new(&default_scenario).run();
+    assert_eq!(Simulator::new(&explicit).run(), reference);
+    assert_eq!(Simulator::new(&via_builder).run(), reference);
+    // And the uniform card assignment is likewise the identity.
+    let uniform = default_scenario.clone().with_card_assignment(CardAssignment::Uniform);
+    assert_eq!(Simulator::new(&uniform).run(), reference);
 }
 
 #[test]

@@ -9,9 +9,9 @@
 
 use eend_campaign::store::Manifest;
 use eend_campaign::{
-    merge_stores, BaseScenario, CampaignSpec, Executor, ResultStore,
+    merge_stores, BaseScenario, CampaignSpec, Executor, FailurePlan, ResultStore,
 };
-use eend_wireless::stacks;
+use eend_wireless::{radio_profiles, stacks, TrafficModel};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -142,6 +142,75 @@ fn complete_record_missing_its_newline_still_resumes_cleanly() {
         store.run(&Executor::with_workers(2), &jobs, None).unwrap();
         let assembled = store.assemble(&jobs).unwrap();
         assert_eq!(assembled.to_csv(), one_shot.to_csv());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A spec exercising every new scenario-diversity axis at once: failure
+/// plans + non-CBR traffic + a mixed-card radio profile.
+fn mixed_axis_spec() -> CampaignSpec {
+    CampaignSpec::new("diversity", BaseScenario::Small)
+        .stacks(vec![stacks::titan_pc()])
+        .rates(vec![4.0])
+        .traffic(vec![TrafficModel::Poisson, TrafficModel::OnOffBurst {
+            mean_on_s: 5.0,
+            mean_off_s: 5.0,
+        }])
+        .radio_profiles(vec![radio_profiles::mixed_hypo()])
+        .failures(vec![FailurePlan::none(), FailurePlan::kill("kill-3", 10.0, 3)])
+        .seeds(2)
+        .secs(20)
+}
+
+#[test]
+fn mixed_axis_store_round_trips_resumes_and_refuses_axis_drift() {
+    let spec = mixed_axis_spec();
+    let jobs = spec.expand();
+    assert_eq!(jobs.len(), 8, "2 traffic x 2 failures x 2 seeds");
+    let one_shot = Executor::with_workers(1).run(&spec);
+
+    let dir = scratch("mixedaxis");
+    let manifest = Manifest::for_spec(&spec, 0, 1);
+    // The manifest must carry the full axes — SpecAxes no longer refuses
+    // failure plans — and rebuild the exact spec from disk.
+    let axes = manifest.axes.clone().expect("mixed-axis spec must be manifest-expressible");
+    assert_eq!(axes.traffic, ["poisson", "onoff(5,5)"]);
+    assert_eq!(axes.radio, ["mixed-hypo"]);
+    assert_eq!(axes.failures.len(), 2);
+    assert_eq!(axes.failures[1].kills, [(10.0, 3)]);
+    assert_eq!(axes.to_spec("diversity").unwrap(), spec, "axes must rebuild the exact spec");
+
+    // Interrupt after 3 jobs, then resume from the on-disk manifest's
+    // own axes (as a second machine would) and finish.
+    {
+        let mut store = ResultStore::open(&dir, manifest.clone()).unwrap();
+        assert_eq!(store.run(&Executor::with_workers(2), &jobs, Some(3)).unwrap(), 3);
+    }
+    {
+        let store = ResultStore::open_existing(&dir).unwrap();
+        let rebuilt = store.manifest().axes.clone().unwrap().to_spec("diversity").unwrap();
+        assert_eq!(rebuilt, spec);
+        let mut store = ResultStore::open(&dir, Manifest::for_spec(&rebuilt, 0, 1)).unwrap();
+        assert_eq!(store.completed().len(), 3);
+        store.run(&Executor::with_workers(3), &jobs, None).unwrap();
+        let assembled = store.assemble(&jobs).unwrap();
+        assert_eq!(assembled, one_shot);
+        assert_eq!(assembled.to_csv(), one_shot.to_csv(), "CSV must be byte-identical");
+    }
+
+    // Any drift in the new axes must be refused: different traffic
+    // model, different radio profile, different kill schedule under the
+    // same label.
+    let drifted: [CampaignSpec; 3] = [
+        mixed_axis_spec().traffic(vec![TrafficModel::Poisson, TrafficModel::Cbr]),
+        mixed_axis_spec().radio_profiles(vec![radio_profiles::sparse_hypo()]),
+        mixed_axis_spec()
+            .failures(vec![FailurePlan::none(), FailurePlan::kill("kill-3", 10.0, 5)]),
+    ];
+    for (i, other) in drifted.iter().enumerate() {
+        let err = ResultStore::open(&dir, Manifest::for_spec(other, 0, 1)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "axis drift {i}");
+        assert!(err.to_string().contains("refusing to resume"), "axis drift {i}: {err}");
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -15,9 +15,14 @@
 //! - **routing protocols**: DSR, MTPR, MTPR+, DSRH (rate/no-rate) as one
 //!   reactive engine parameterised by link metric, and DSDV/DSDVH as a
 //!   proactive engine ([`routing`]);
-//! - CBR **traffic** ([`traffic`]), **scenario presets** for each of the
-//!   paper's setups ([`presets`]), and the fixed-route **projection** used
-//!   by Figs 13–16 ([`projection`]).
+//! - **traffic models** — CBR (the paper's workload), Poisson, and bursty
+//!   on/off arrivals at the same offered rate ([`traffic`]);
+//! - **heterogeneous radios** — per-node card assignments for mixed
+//!   hardware deployments ([`scenario::CardAssignment`],
+//!   [`scenario::radio_profiles`]);
+//! - **scenario presets** for each of the paper's setups ([`presets`]),
+//!   and the fixed-route **projection** used by Figs 13–16
+//!   ([`projection`]).
 //!
 //! # Example
 //!
@@ -57,6 +62,8 @@ pub use power::{PmMode, PowerPolicy, PsmConfig, TitanConfig};
 pub use projection::{project, Projection, ProjectionParams, Scheduling};
 pub use routing::{DsdvConfig, ReactiveConfig, RouteMetric};
 pub use runner::{QueueStats, Simulator};
-pub use scenario::{stacks, ProtocolStack, RoutingKind, Scenario};
+pub use scenario::{
+    radio_profiles, stacks, CardAssignment, ProtocolStack, RoutingKind, Scenario,
+};
 pub use topology::Placement;
-pub use traffic::{Flow, FlowSpec};
+pub use traffic::{Flow, FlowSource, FlowSpec, TrafficModel};

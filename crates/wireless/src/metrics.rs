@@ -1,7 +1,7 @@
 //! Per-run measurement results.
 
 use crate::frame::NodeId;
-use eend_radio::EnergyReport;
+use eend_radio::{EnergyReport, RadioCard};
 
 /// Everything one simulation run measures: the paper's two headline
 /// metrics (delivery ratio, energy goodput) plus the breakdowns behind
@@ -102,6 +102,39 @@ impl RunMetrics {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Aggregates the per-node energy reports by radio-card class: one
+    /// `(card name, node count, accumulated report)` entry per distinct
+    /// card, in first-appearance (node-id) order. `cards` is the
+    /// scenario's per-node assignment ([`crate::Scenario::node_cards`]);
+    /// under a homogeneous assignment this collapses to one entry equal
+    /// to [`RunMetrics::energy_total`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cards` does not have one entry per measured node.
+    pub fn energy_by_card(&self, cards: &[RadioCard]) -> Vec<(&'static str, usize, EnergyReport)> {
+        assert_eq!(
+            cards.len(),
+            self.per_node_energy.len(),
+            "need exactly one card per measured node"
+        );
+        let mut out: Vec<(&'static str, usize, EnergyReport)> = Vec::new();
+        for (card, report) in cards.iter().zip(&self.per_node_energy) {
+            match out.iter_mut().find(|(name, _, _)| *name == card.name) {
+                Some((_, n, acc)) => {
+                    *n += 1;
+                    acc.accumulate(report);
+                }
+                None => {
+                    let mut acc = EnergyReport::default();
+                    acc.accumulate(report);
+                    out.push((card.name, 1, acc));
+                }
+            }
+        }
+        out
+    }
+
     /// Imbalance of the energy burden: ratio of the hungriest node's
     /// consumption to the mean. 1.0 = perfectly balanced; large values
     /// mean a few relays carry the network (and die first).
@@ -200,5 +233,39 @@ mod tests {
     #[should_panic(expected = "battery capacity")]
     fn zero_battery_rejected() {
         zeroed().lifetime_to_first_death_s(0.0);
+    }
+
+    #[test]
+    fn energy_by_card_groups_nodes_by_card_class() {
+        let mut m = zeroed();
+        m.per_node_energy = vec![
+            EnergyReport { idle_mj: 1.0, ..EnergyReport::default() },
+            EnergyReport { idle_mj: 2.0, ..EnergyReport::default() },
+            EnergyReport { idle_mj: 4.0, ..EnergyReport::default() },
+        ];
+        let cards = vec![
+            eend_radio::cards::cabletron(),
+            eend_radio::cards::mica2(),
+            eend_radio::cards::cabletron(),
+        ];
+        let grouped = m.energy_by_card(&cards);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!((grouped[0].0, grouped[0].1), ("Cabletron", 2));
+        assert!((grouped[0].2.idle_mj - 5.0).abs() < 1e-12);
+        assert_eq!((grouped[1].0, grouped[1].1), ("Mica2", 1));
+        assert!((grouped[1].2.idle_mj - 2.0).abs() < 1e-12);
+        // Homogeneous assignment collapses to the network total.
+        let uniform = vec![eend_radio::cards::cabletron(); 3];
+        let one = m.energy_by_card(&uniform);
+        assert_eq!(one.len(), 1);
+        assert!((one[0].2.idle_mj - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one card per measured node")]
+    fn energy_by_card_rejects_mismatched_lengths() {
+        let mut m = zeroed();
+        m.per_node_energy = vec![EnergyReport::default()];
+        let _ = m.energy_by_card(&[]);
     }
 }

@@ -89,6 +89,16 @@ pub fn mobility_bench(stack: ProtocolStack, n: usize, seed: u64) -> Scenario {
     .with_mobility(crate::mobility::Mobility::random_waypoint(2.5, 5.0, 5.0))
 }
 
+/// Heterogeneous variant of [`small_network`]: the same 50-node field
+/// with the [`crate::scenario::radio_profiles::mixed_hypo`] card
+/// assignment — Cabletron and Hypothetical Cabletron interleaved, so
+/// half the relays pay the hypothetical card's amplifier premium while
+/// PHY connectivity stays identical (the cards are range-matched).
+pub fn small_network_hetero(stack: ProtocolStack, rate_kbps: f64, seed: u64) -> Scenario {
+    small_network(stack, rate_kbps, seed)
+        .with_card_assignment(crate::scenario::radio_profiles::mixed_hypo().assignment)
+}
+
 /// Draws `k` distinct-endpoint pairs among `0..limit` from a seed that
 /// does not depend on network size.
 fn fixed_pairs(k: usize, limit: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
@@ -147,6 +157,21 @@ mod tests {
         assert_eq!(a.flows.pairs, b.flows.pairs, "same endpoints across densities");
         let pairs = a.flows.pairs.unwrap();
         assert!(pairs.iter().all(|&(s, d)| s < 300 && d < 300 && s != d));
+    }
+
+    #[test]
+    fn hetero_small_network_differs_only_in_cards() {
+        let homo = small_network(stacks::titan_pc(), 4.0, 1);
+        let hetero = small_network_hetero(stacks::titan_pc(), 4.0, 1);
+        assert_eq!(hetero.placement, homo.placement);
+        assert_eq!(hetero.flows, homo.flows);
+        assert_eq!(hetero.card, homo.card, "base PHY card unchanged");
+        assert_ne!(hetero.card_assignment, homo.card_assignment);
+        let names: Vec<&str> = hetero.node_cards(4).iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            ["Cabletron", "Hypothetical Cabletron", "Cabletron", "Hypothetical Cabletron"]
+        );
     }
 
     #[test]

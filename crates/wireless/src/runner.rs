@@ -101,8 +101,13 @@ pub struct QueueStats {
 /// The packet-level simulator. Construct with [`Simulator::new`], call
 /// [`Simulator::run`].
 pub struct Simulator {
-    // Immutable configuration.
-    card: RadioCard,
+    // Immutable configuration. Per-node cards drive energy accounting,
+    // transmit power and routing metrics; PHY range/carrier sense were
+    // fixed from the scenario's base card when the channel was built
+    // (see `CardAssignment`). Under a uniform assignment every entry is
+    // the base card, so the arithmetic is bit-identical to the
+    // homogeneous implementation.
+    cards: Vec<RadioCard>,
     mac_timing: MacTiming,
     policy: PowerPolicy,
     psm: crate::power::PsmConfig,
@@ -204,10 +209,11 @@ impl Simulator {
             PmMode::ActiveMode => RadioState::Idle,
             PmMode::PowerSave => RadioState::Sleep,
         };
+        let cards = scenario.node_cards(n);
         let nodes = (0..n)
-            .map(|_| Node {
+            .map(|i| Node {
                 mac: MacState::new(scenario.queue_capacity),
-                meter: EnergyMeter::starting(scenario.card, SimTime::ZERO, initial_state),
+                meter: EnergyMeter::starting(cards[i], SimTime::ZERO, initial_state),
                 routing: match &scenario.stack.routing {
                     RoutingKind::Reactive(cfg) => {
                         RoutingAgent::Reactive(ReactiveRouting::new(*cfg))
@@ -225,7 +231,7 @@ impl Simulator {
         // plus delayed-forwarding bursts) and one PacketGen per flow.
         let event_capacity = (16 * n + 4 * flows.len() + 64).next_power_of_two();
         let mut sim = Simulator {
-            card: scenario.card,
+            cards,
             mac_timing: scenario.mac,
             policy: scenario.stack.power_policy,
             psm: scenario.stack.psm,
@@ -461,7 +467,9 @@ impl Simulator {
         };
         flow.next_seq += 1;
         let src = flow.src;
-        let next = self.time + flow.interval;
+        // The gap comes from the flow's arrival process (fixed for CBR,
+        // drawn from the flow's own RNG stream for Poisson/on-off).
+        let next = self.time + flow.next_gap();
         if next <= self.end {
             self.queue.schedule(next, Event::PacketGen(i));
         }
@@ -482,14 +490,14 @@ impl Simulator {
         // no per-event Vec<Action> allocation in steady state.
         let mut out = self.action_pool.pop().unwrap_or_default();
         debug_assert!(out.is_empty());
-        let Simulator { nodes, channel, pm_modes, rng, card, mac_timing, time, active_neighbors, .. } =
+        let Simulator { nodes, channel, pm_modes, rng, cards, mac_timing, time, active_neighbors, .. } =
             self;
         let mut ctx = RoutingCtx {
             node: u,
             now: *time,
             channel,
             pm_modes,
-            card,
+            card: &cards[u],
             bandwidth_bps: mac_timing.bandwidth_bps,
             rng,
             active_neighbors: Some(active_neighbors),
@@ -689,9 +697,9 @@ impl Simulator {
                 let plan = UnicastPlan::for_bytes(&self.mac_timing, bytes);
                 let dist = self.channel.distance(u, v);
                 let data_power_mw = if frame.packet.kind.is_data() {
-                    self.card.data_tx_power_mw(dist, self.power_control)
+                    self.cards[u].data_tx_power_mw(dist, self.power_control)
                 } else {
-                    self.card.max_tx_total_power_mw()
+                    self.cards[u].max_tx_total_power_mw()
                 };
                 let end = now + plan.end;
                 self.channel.begin_tx(u, Some(v), now, end);
@@ -725,7 +733,7 @@ impl Simulator {
                     kind: TxnKind::Broadcast { receivers, frame },
                     start: now,
                     plan: UnicastPlan::for_bytes(&self.mac_timing, bytes),
-                    data_power_mw: self.card.max_tx_total_power_mw(),
+                    data_power_mw: self.cards[u].max_tx_total_power_mw(),
                 });
                 self.queue.schedule(end, Event::TxnEnd(u));
             }
@@ -900,7 +908,10 @@ impl Simulator {
         data_power_mw: f64,
     ) {
         let (rts_at, cts_at, data_at, ack_at, end_at) = plan_at(plan, start);
-        let pmax = self.card.max_tx_total_power_mw();
+        // Control frames go out at each participant's own maximum (Eq 2):
+        // the RTS at the sender's, the CTS/ACK at the receiver's.
+        let pu = self.cards[u].max_tx_total_power_mw();
+        let pv = self.cards[v].max_tx_total_power_mw();
         let class = if frame.packet.kind.is_data() {
             TrafficClass::Data
         } else {
@@ -909,16 +920,16 @@ impl Simulator {
         self.ensure_idle(u, start);
         self.ensure_idle(v, start);
         let mu = &mut self.nodes[u].meter;
-        mu.begin_tx(rts_at, pmax, TrafficClass::Control);
+        mu.begin_tx(rts_at, pu, TrafficClass::Control);
         mu.begin_rx(cts_at, TrafficClass::Control);
         mu.begin_tx(data_at, data_power_mw, class);
         mu.begin_rx(ack_at, TrafficClass::Control);
         mu.set_idle(end_at);
         let mv = &mut self.nodes[v].meter;
         mv.begin_rx(rts_at, TrafficClass::Control);
-        mv.begin_tx(cts_at, pmax, TrafficClass::Control);
+        mv.begin_tx(cts_at, pv, TrafficClass::Control);
         mv.begin_rx(data_at, class);
-        mv.begin_tx(ack_at, pmax, TrafficClass::Control);
+        mv.begin_tx(ack_at, pv, TrafficClass::Control);
         mv.set_idle(end_at);
     }
 
@@ -934,7 +945,7 @@ impl Simulator {
             TrafficClass::Control
         };
         self.ensure_idle(u, txn_start);
-        let pmax = self.card.max_tx_total_power_mw();
+        let pmax = self.cards[u].max_tx_total_power_mw();
         let mu = &mut self.nodes[u].meter;
         mu.begin_tx(start, pmax, class);
         mu.set_idle(end);
@@ -950,7 +961,7 @@ impl Simulator {
         let rts_start = txn_start + self.mac_timing.difs;
         let rts_end = rts_start + self.mac_timing.airtime(self.mac_timing.rts_bytes);
         self.ensure_idle(u, txn_start);
-        let pmax = self.card.max_tx_total_power_mw();
+        let pmax = self.cards[u].max_tx_total_power_mw();
         let mu = &mut self.nodes[u].meter;
         mu.begin_tx(rts_start, pmax, TrafficClass::Control);
         mu.set_idle(rts_end);
@@ -1095,7 +1106,7 @@ impl Simulator {
                             self.ensure_idle(v, start);
                             self.nodes[u].meter.begin_tx(
                                 start,
-                                self.card.max_tx_total_power_mw(),
+                                self.cards[u].max_tx_total_power_mw(),
                                 TrafficClass::Control,
                             );
                             self.nodes[u].meter.set_idle(end);
@@ -1197,6 +1208,7 @@ mod tests {
                 packet_bytes: 128,
                 start_window: (1.0, 1.0),
                 pairs: Some(vec![(0, 2)]),
+                model: crate::traffic::TrafficModel::Cbr,
             },
             SimDuration::from_secs(secs),
             42,
@@ -1311,6 +1323,7 @@ mod tests {
                 packet_bytes: 128,
                 start_window: (1.0, 1.0),
                 pairs: Some(vec![(0, 1)]),
+                model: crate::traffic::TrafficModel::Cbr,
             },
             SimDuration::from_secs(20),
             7,
@@ -1346,6 +1359,7 @@ mod failure_tests {
                 packet_bytes: 128,
                 start_window: (1.0, 1.0),
                 pairs: Some(vec![(0, 3)]),
+                model: crate::traffic::TrafficModel::Cbr,
             },
             SimDuration::from_secs(60),
             5,
@@ -1382,6 +1396,120 @@ mod failure_tests {
         let m = Simulator::new(&s).run();
         assert!(m.delivery_ratio() < 0.8, "second half must be lost");
         assert!(m.delivery_ratio() > 0.2, "first half was delivered");
+    }
+}
+
+#[cfg(test)]
+mod hetero_tests {
+    use super::*;
+    use crate::scenario::{stacks, CardAssignment, Scenario};
+    use crate::topology::Placement;
+    use crate::traffic::{FlowSpec, TrafficModel};
+
+    fn base_scenario(secs: u64) -> Scenario {
+        Scenario::new(
+            Placement::Explicit(vec![(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)]),
+            eend_radio::cards::cabletron(),
+            stacks::dsr_odpm_pc(),
+            FlowSpec {
+                count: 1,
+                rate_bps: 4000.0,
+                packet_bytes: 128,
+                start_window: (1.0, 1.0),
+                pairs: Some(vec![(0, 2)]),
+                model: TrafficModel::Cbr,
+            },
+            SimDuration::from_secs(secs),
+            11,
+        )
+    }
+
+    #[test]
+    fn uniform_assignment_is_bit_identical_to_the_default() {
+        let default = Simulator::new(&base_scenario(30)).run();
+        let explicit = Simulator::new(
+            &base_scenario(30).with_card_assignment(CardAssignment::Uniform),
+        )
+        .run();
+        assert_eq!(default, explicit);
+        // A single-card alternating list is also the uniform assignment.
+        let degenerate = Simulator::new(&base_scenario(30).with_card_assignment(
+            CardAssignment::Alternating(vec![eend_radio::cards::cabletron()]),
+        ))
+        .run();
+        assert_eq!(default, degenerate);
+    }
+
+    #[test]
+    fn mixed_cards_change_energy_but_not_packet_flow() {
+        // Hypothetical Cabletron is range-identical to Cabletron but
+        // burns more amplifier power: a mixed field must deliver the
+        // same packets while charging more energy on the hungry nodes.
+        let homo = Simulator::new(&base_scenario(60)).run();
+        let mixed = Simulator::new(&base_scenario(60).with_card_assignment(
+            CardAssignment::Alternating(vec![
+                eend_radio::cards::cabletron(),
+                eend_radio::cards::hypothetical_cabletron(),
+            ]),
+        ))
+        .run();
+        assert_eq!(mixed.data_sent, homo.data_sent);
+        assert_eq!(mixed.data_delivered, homo.data_delivered);
+        assert_eq!(mixed.routes, homo.routes);
+        // Node 1 (the relay) carries the hypothetical card in the mixed
+        // run; its transmit-side energy must exceed the homogeneous run's.
+        assert!(
+            mixed.per_node_energy[1].tx_data_mj > homo.per_node_energy[1].tx_data_mj,
+            "hypothetical relay must radiate more: {} vs {}",
+            mixed.per_node_energy[1].tx_data_mj,
+            homo.per_node_energy[1].tx_data_mj
+        );
+        // Node 0 kept the Cabletron; its idle/rx profile is unchanged.
+        assert_eq!(mixed.per_node_energy[0].idle_mj, homo.per_node_energy[0].idle_mj);
+    }
+
+    #[test]
+    fn mixed_cards_are_deterministic() {
+        let s = base_scenario(30).with_card_assignment(CardAssignment::Alternating(vec![
+            eend_radio::cards::cabletron(),
+            eend_radio::cards::hypothetical_cabletron(),
+        ]));
+        assert_eq!(Simulator::new(&s).run(), Simulator::new(&s).run());
+    }
+
+    #[test]
+    fn poisson_and_onoff_deliver_and_replay() {
+        for model in [
+            TrafficModel::Poisson,
+            TrafficModel::OnOffBurst { mean_on_s: 3.0, mean_off_s: 3.0 },
+        ] {
+            let mut s = base_scenario(60);
+            s.flows = s.flows.with_model(model.clone());
+            let a = Simulator::new(&s).run();
+            let b = Simulator::new(&s).run();
+            assert_eq!(a, b, "{model:?} must replay identically");
+            assert!(a.data_sent > 20, "{model:?} sent only {}", a.data_sent);
+            assert!(
+                a.delivery_ratio() > 0.9,
+                "{model:?} delivery {}",
+                a.delivery_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_offered_load_tracks_cbr_over_a_long_horizon() {
+        let cbr = Simulator::new(&base_scenario(240)).run();
+        let mut s = base_scenario(240);
+        s.flows = s.flows.with_model(TrafficModel::Poisson);
+        let poisson = Simulator::new(&s).run();
+        let ratio = poisson.data_sent as f64 / cbr.data_sent as f64;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "poisson offered load off: {} vs {} packets",
+            poisson.data_sent,
+            cbr.data_sent
+        );
     }
 }
 

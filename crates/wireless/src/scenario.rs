@@ -208,12 +208,97 @@ pub mod stacks {
     }
 }
 
+/// How radio cards are distributed over the nodes of a scenario.
+///
+/// The paper's evaluation is homogeneous ([`CardAssignment::Uniform`]);
+/// heterogeneous deployments mix power profiles. Per-node cards drive
+/// **energy accounting, transmit-power control and routing link
+/// metrics**; PHY connectivity and carrier sense keep using the
+/// scenario's base [`Scenario::card`] range, so mixed cells model
+/// hardware whose radios share a common link layer but differ in power
+/// draw (e.g. Cabletron vs the paper's Hypothetical Cabletron, which
+/// are range-identical by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CardAssignment {
+    /// Every node carries [`Scenario::card`] (the paper's setting).
+    Uniform,
+    /// Node `i` carries `cards[i % cards.len()]` — a deterministic
+    /// interleaving of card classes across the field.
+    Alternating(Vec<RadioCard>),
+}
+
+/// Named, CLI-addressable card assignments — the radio-profile axis of a
+/// campaign. Profiles deliberately mix cards with the **same nominal
+/// range** as the presets' base cards (see [`CardAssignment`]).
+pub mod radio_profiles {
+    use super::CardAssignment;
+    use eend_radio::cards;
+
+    /// A named card assignment, addressable from `--radio-profile` and
+    /// store manifests.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RadioProfile {
+        /// Registry name (e.g. `"uniform"`, `"mixed-hypo"`).
+        pub name: &'static str,
+        /// The assignment the profile applies to a scenario.
+        pub assignment: CardAssignment,
+    }
+
+    /// The preset's own homogeneous card on every node.
+    pub fn uniform() -> RadioProfile {
+        RadioProfile { name: "uniform", assignment: CardAssignment::Uniform }
+    }
+
+    /// Alternating Cabletron / Hypothetical Cabletron — the two cards are
+    /// range-identical, so only the amplifier energy model varies.
+    pub fn mixed_hypo() -> RadioProfile {
+        RadioProfile {
+            name: "mixed-hypo",
+            assignment: CardAssignment::Alternating(vec![
+                cards::cabletron(),
+                cards::hypothetical_cabletron(),
+            ]),
+        }
+    }
+
+    /// A 2:1 Cabletron / Hypothetical Cabletron mix — every third node
+    /// pays the hypothetical card's amplifier premium, a lighter
+    /// heterogeneity level than [`mixed_hypo`]'s 1:1 interleaving.
+    pub fn sparse_hypo() -> RadioProfile {
+        RadioProfile {
+            name: "sparse-hypo",
+            assignment: CardAssignment::Alternating(vec![
+                cards::cabletron(),
+                cards::cabletron(),
+                cards::hypothetical_cabletron(),
+            ]),
+        }
+    }
+
+    /// Every registered profile. All profiles mix only cards that share
+    /// one nominal range (enforced by the registry tests): per-node
+    /// cards drive energy, not PHY connectivity, so a range-mismatched
+    /// mix would bill transmissions the mismatched card could not
+    /// physically make.
+    pub fn all() -> Vec<RadioProfile> {
+        vec![uniform(), mixed_hypo(), sparse_hypo()]
+    }
+
+    /// Looks a profile up by name, case-insensitively.
+    pub fn by_name(name: &str) -> Option<RadioProfile> {
+        let want = name.trim().to_ascii_lowercase();
+        all().into_iter().find(|p| p.name == want)
+    }
+}
+
 /// A full simulation scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Node placement.
     pub placement: Placement,
-    /// The radio card all nodes carry.
+    /// The base radio card: carried by all nodes under
+    /// [`CardAssignment::Uniform`], and always the PHY reference for
+    /// transmission range and carrier sense.
     pub card: RadioCard,
     /// Protocol stack under test.
     pub stack: ProtocolStack,
@@ -234,6 +319,9 @@ pub struct Scenario {
     /// Node mobility model ([`crate::mobility::Mobility::Static`] in all
     /// of the paper's scenarios).
     pub mobility: crate::mobility::Mobility,
+    /// Per-node radio-card distribution ([`CardAssignment::Uniform`], the
+    /// paper's homogeneous setting, by default).
+    pub card_assignment: CardAssignment,
 }
 
 impl Scenario {
@@ -257,6 +345,7 @@ impl Scenario {
             queue_capacity: 50,
             node_failures: Vec::new(),
             mobility: crate::mobility::Mobility::Static,
+            card_assignment: CardAssignment::Uniform,
         }
     }
 
@@ -270,6 +359,43 @@ impl Scenario {
     pub fn with_mobility(mut self, mobility: crate::mobility::Mobility) -> Scenario {
         self.mobility = mobility;
         self
+    }
+
+    /// Sets the per-node card distribution (see [`CardAssignment`]).
+    pub fn with_card_assignment(mut self, assignment: CardAssignment) -> Scenario {
+        self.card_assignment = assignment;
+        self
+    }
+
+    /// The card each of `n` nodes carries under this scenario's
+    /// [`CardAssignment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an [`CardAssignment::Alternating`] assignment that is
+    /// empty or mixes cards whose nominal range differs from the base
+    /// [`Scenario::card`]: PHY connectivity always uses the base card's
+    /// range, so a range-mismatched per-node card would be billed for
+    /// transmissions it could not physically make.
+    pub fn node_cards(&self, n: usize) -> Vec<RadioCard> {
+        match &self.card_assignment {
+            CardAssignment::Uniform => vec![self.card; n],
+            CardAssignment::Alternating(cards) => {
+                assert!(!cards.is_empty(), "alternating assignment needs at least one card");
+                for c in cards {
+                    assert!(
+                        c.nominal_range_m == self.card.nominal_range_m,
+                        "card assignment mixes {} (range {} m) with base card {} (range {} m) — \
+                         per-node cards must match the base card's PHY range",
+                        c.name,
+                        c.nominal_range_m,
+                        self.card.name,
+                        self.card.nominal_range_m
+                    );
+                }
+                (0..n).map(|i| cards[i % cards.len()]).collect()
+            }
+        }
     }
 }
 
@@ -346,5 +472,78 @@ mod tests {
         );
         assert_eq!(s.queue_capacity, 50);
         assert_eq!(s.mac.bandwidth_bps, 2_000_000.0);
+        assert_eq!(s.card_assignment, CardAssignment::Uniform);
+    }
+
+    #[test]
+    fn node_cards_follow_the_assignment() {
+        let s = Scenario::new(
+            Placement::Grid { rows: 2, cols: 2, width: 100.0, height: 100.0 },
+            eend_radio::cards::cabletron(),
+            stacks::dsr_active(),
+            FlowSpec::cbr(1, 2.0),
+            SimDuration::from_secs(10),
+            1,
+        );
+        let uniform = s.node_cards(3);
+        assert!(uniform.iter().all(|c| c.name == "Cabletron"));
+
+        let mixed = s
+            .clone()
+            .with_card_assignment(CardAssignment::Alternating(vec![
+                eend_radio::cards::cabletron(),
+                eend_radio::cards::hypothetical_cabletron(),
+            ]))
+            .node_cards(5);
+        let names: Vec<&str> = mixed.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            [
+                "Cabletron",
+                "Hypothetical Cabletron",
+                "Cabletron",
+                "Hypothetical Cabletron",
+                "Cabletron"
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the base card's PHY range")]
+    fn range_mismatched_assignment_is_rejected() {
+        let s = Scenario::new(
+            Placement::Grid { rows: 2, cols: 2, width: 100.0, height: 100.0 },
+            eend_radio::cards::mica2(), // 68 m base PHY
+            stacks::dsr_active(),
+            FlowSpec::cbr(1, 2.0),
+            SimDuration::from_secs(10),
+            1,
+        )
+        .with_card_assignment(radio_profiles::mixed_hypo().assignment); // 250 m cards
+        let _ = s.node_cards(4);
+    }
+
+    #[test]
+    fn radio_profile_registry_round_trips_names() {
+        let all = radio_profiles::all();
+        assert!(all.len() >= 3);
+        for p in &all {
+            assert_eq!(radio_profiles::by_name(p.name).as_ref(), Some(p));
+        }
+        assert_eq!(radio_profiles::by_name("MIXED-HYPO").unwrap().name, "mixed-hypo");
+        assert!(radio_profiles::by_name("nonexistent").is_none());
+        // Every registered profile mixes only range-matched cards: the
+        // channel keeps the base card's range, so a card with a smaller
+        // nominal range would be billed for transmissions it cannot
+        // physically make.
+        for p in all {
+            if let CardAssignment::Alternating(cards) = &p.assignment {
+                assert!(
+                    cards.iter().all(|c| c.nominal_range_m == cards[0].nominal_range_m),
+                    "{}: mixes cards with different nominal ranges",
+                    p.name
+                );
+            }
+        }
     }
 }

@@ -1,15 +1,88 @@
-//! CBR traffic generation.
+//! Traffic generation: CBR, Poisson, and bursty on/off workloads.
+//!
+//! The paper evaluates exclusively constant-bit-rate flows; real
+//! deployments do not. [`TrafficModel`] makes the packet-arrival process
+//! a first-class, sweepable axis while keeping the CBR path bit-identical
+//! to the original implementation: a [`FlowSpec`] with
+//! [`TrafficModel::Cbr`] consumes exactly the same RNG draws and emits
+//! exactly the same arrival instants as the pre-model code, so every
+//! pinned golden snapshot stays valid without re-blessing.
+//!
+//! Non-CBR flows each own an **independent** RNG stream derived from
+//! `mix_seed(stream_seed, flow_index)`: a flow's arrival sequence depends
+//! only on the spec seed and its index — never on how many other flows
+//! exist or in what order the event loop interleaves their draws.
 
 use crate::frame::NodeId;
-use eend_sim::{SimDuration, SimRng, SimTime};
+use eend_sim::{mix_seed, SimDuration, SimRng, SimTime};
 
-/// Specification of the CBR workload (the paper's flows: 128 B packets,
+/// The packet-arrival process of a flow — a sweepable campaign axis.
+///
+/// All three models offer the **same long-run rate** (`FlowSpec::rate_bps`):
+/// Poisson randomises inter-arrivals around the CBR mean, and the on/off
+/// burst model compresses the same offered load into exponentially
+/// distributed on-periods (CBR at an elevated peak rate while on,
+/// silence while off), so sweeping the model isolates the effect of
+/// traffic *shape* from traffic *volume*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficModel {
+    /// Constant bit rate: fixed inter-packet gap (the paper's workload).
+    Cbr,
+    /// Poisson arrivals: exponential inter-arrival times with the CBR
+    /// mean, i.e. the same offered rate.
+    Poisson,
+    /// Exponential on/off periods; CBR while on, at a peak rate scaled by
+    /// the inverse duty cycle so the long-run offered rate still equals
+    /// `rate_bps`.
+    OnOffBurst {
+        /// Mean on-period length, seconds (must be positive).
+        mean_on_s: f64,
+        /// Mean off-period length, seconds (must be positive).
+        mean_off_s: f64,
+    },
+}
+
+impl TrafficModel {
+    /// Parses the CLI spelling: `cbr`, `poisson`, `onoff` (5 s/5 s
+    /// defaults), or `onoff(ON_S,OFF_S)` with explicit mean periods.
+    /// Round-trips [`TrafficModel::label`].
+    pub fn parse(name: &str) -> Option<TrafficModel> {
+        let s = name.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "cbr" => Some(TrafficModel::Cbr),
+            "poisson" => Some(TrafficModel::Poisson),
+            "onoff" => Some(TrafficModel::OnOffBurst { mean_on_s: 5.0, mean_off_s: 5.0 }),
+            _ => {
+                let inner = s.strip_prefix("onoff(")?.strip_suffix(')')?;
+                let (on, off) = inner.split_once(',')?;
+                let (on, off): (f64, f64) = (on.trim().parse().ok()?, off.trim().parse().ok()?);
+                (on.is_finite() && off.is_finite() && on > 0.0 && off > 0.0)
+                    .then_some(TrafficModel::OnOffBurst { mean_on_s: on, mean_off_s: off })
+            }
+        }
+    }
+
+    /// Canonical spelling, used by campaign grid points, store manifests
+    /// and CSV/JSON output ([`TrafficModel::parse`]'s inverse).
+    pub fn label(&self) -> String {
+        match self {
+            TrafficModel::Cbr => "cbr".to_owned(),
+            TrafficModel::Poisson => "poisson".to_owned(),
+            TrafficModel::OnOffBurst { mean_on_s, mean_off_s } => {
+                format!("onoff({mean_on_s},{mean_off_s})")
+            }
+        }
+    }
+}
+
+/// Specification of the traffic workload (the paper's flows: 128 B packets,
 /// per-flow rate swept 2–200 Kbit/s, start times uniform in [20 s, 25 s]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowSpec {
     /// Number of flows.
     pub count: usize,
-    /// Per-flow offered rate, bits per second.
+    /// Per-flow offered rate, bits per second (the long-run rate for
+    /// every [`TrafficModel`]).
     pub rate_bps: f64,
     /// Application payload per packet, bytes.
     pub packet_bytes: usize,
@@ -18,6 +91,9 @@ pub struct FlowSpec {
     /// Explicit `(source, sink)` pairs; drawn at random (distinct
     /// endpoints, no self-loops) when `None`.
     pub pairs: Option<Vec<(NodeId, NodeId)>>,
+    /// Packet-arrival process ([`TrafficModel::Cbr`] reproduces the
+    /// original CBR implementation bit-for-bit).
+    pub model: TrafficModel,
 }
 
 impl FlowSpec {
@@ -30,6 +106,7 @@ impl FlowSpec {
             packet_bytes: 128,
             start_window: (20.0, 25.0),
             pairs: None,
+            model: TrafficModel::Cbr,
         }
     }
 
@@ -41,12 +118,23 @@ impl FlowSpec {
         self
     }
 
+    /// Replaces the arrival process, keeping everything else.
+    pub fn with_model(mut self, model: TrafficModel) -> FlowSpec {
+        self.model = model;
+        self
+    }
+
     /// Materialises concrete flows for a network of `n_nodes`.
+    ///
+    /// The RNG draw order is: endpoint pairs (when not explicit), then —
+    /// only for non-CBR models — one `u64` seeding the per-flow arrival
+    /// streams, then one start-time draw per flow. A CBR spec therefore
+    /// consumes exactly the draws the pre-[`TrafficModel`] code consumed.
     ///
     /// # Panics
     ///
-    /// Panics if rates/sizes are non-positive, a pair is out of range, or
-    /// the network is too small to draw distinct pairs.
+    /// Panics if rates/sizes/periods are non-positive, a pair is out of
+    /// range, or the network is too small to draw distinct pairs.
     pub fn materialize(&self, n_nodes: usize, rng: &mut SimRng) -> Vec<Flow> {
         assert!(self.rate_bps > 0.0, "flow rate must be positive");
         assert!(self.packet_bytes > 0, "packets must be non-empty");
@@ -54,6 +142,12 @@ impl FlowSpec {
             self.start_window.0 <= self.start_window.1,
             "start window must be ordered"
         );
+        if let TrafficModel::OnOffBurst { mean_on_s, mean_off_s } = self.model {
+            assert!(
+                mean_on_s.is_finite() && mean_off_s.is_finite() && mean_on_s > 0.0 && mean_off_s > 0.0,
+                "on/off periods must be positive and finite"
+            );
+        }
         let pairs: Vec<(NodeId, NodeId)> = match &self.pairs {
             Some(p) => {
                 for &(s, d) in p {
@@ -74,11 +168,19 @@ impl FlowSpec {
                     .collect()
             }
         };
+        // Per-flow arrival streams are keyed by (stream_seed, index):
+        // adding, removing or reordering *other* flows never perturbs a
+        // flow's own arrival sequence.
+        let stream_seed = match self.model {
+            TrafficModel::Cbr => 0,
+            _ => rng.next_u64(),
+        };
         let interval =
             SimDuration::from_secs_f64(self.packet_bytes as f64 * 8.0 / self.rate_bps);
         pairs
             .into_iter()
-            .map(|(src, dst)| Flow {
+            .enumerate()
+            .map(|(i, (src, dst))| Flow {
                 src,
                 dst,
                 rate_bps: self.rate_bps,
@@ -88,28 +190,113 @@ impl FlowSpec {
                 ),
                 interval,
                 next_seq: 0,
+                source: FlowSource::for_model(
+                    &self.model,
+                    interval,
+                    SimRng::new(mix_seed(&[stream_seed, i as u64])),
+                ),
             })
             .collect()
     }
 }
 
-/// A materialised CBR flow.
+/// Per-flow arrival-process state. CBR carries none (and costs none);
+/// the stochastic models own their flow's independent RNG stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowSource {
+    /// Fixed gap: the flow's `interval`.
+    Cbr,
+    /// Exponential gaps with the flow's `interval` as the mean.
+    Poisson {
+        /// This flow's arrival stream.
+        rng: SimRng,
+    },
+    /// CBR at `on_interval` gaps while on; exponential on/off periods.
+    OnOff {
+        /// This flow's arrival stream.
+        rng: SimRng,
+        /// Inter-packet gap during an on-period (`interval` × duty cycle,
+        /// so the long-run rate matches the configured one).
+        on_interval: SimDuration,
+        /// Mean on-period, seconds.
+        mean_on_s: f64,
+        /// Mean off-period, seconds.
+        mean_off_s: f64,
+        /// Remaining on-time before the next off-period, seconds.
+        on_left_s: f64,
+    },
+}
+
+impl FlowSource {
+    fn for_model(model: &TrafficModel, interval: SimDuration, mut rng: SimRng) -> FlowSource {
+        match *model {
+            TrafficModel::Cbr => FlowSource::Cbr,
+            TrafficModel::Poisson => FlowSource::Poisson { rng },
+            TrafficModel::OnOffBurst { mean_on_s, mean_off_s } => {
+                let duty = mean_on_s / (mean_on_s + mean_off_s);
+                let on_left_s = rng.exponential(1.0 / mean_on_s);
+                FlowSource::OnOff {
+                    rng,
+                    on_interval: SimDuration::from_secs_f64(interval.as_secs_f64() * duty),
+                    mean_on_s,
+                    mean_off_s,
+                    on_left_s,
+                }
+            }
+        }
+    }
+}
+
+/// A materialised flow.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Flow {
     /// Source node.
     pub src: NodeId,
     /// Destination node.
     pub dst: NodeId,
-    /// Offered rate, bits per second.
+    /// Long-run offered rate, bits per second.
     pub rate_bps: f64,
     /// Payload bytes per packet.
     pub packet_bytes: usize,
     /// First packet's generation instant.
     pub start: SimTime,
-    /// Inter-packet gap.
+    /// Mean inter-packet gap (the exact gap for CBR).
     pub interval: SimDuration,
     /// Next sequence number to assign.
     pub next_seq: u64,
+    /// Arrival-process state (advanced by [`Flow::next_gap`]).
+    pub source: FlowSource,
+}
+
+impl Flow {
+    /// The gap until this flow's next packet, advancing the arrival
+    /// process. Allocation-free: stochastic models draw from the flow's
+    /// own RNG stream in place.
+    pub fn next_gap(&mut self) -> SimDuration {
+        match &mut self.source {
+            FlowSource::Cbr => self.interval,
+            FlowSource::Poisson { rng } => {
+                SimDuration::from_secs_f64(rng.exponential(1.0 / self.interval.as_secs_f64()))
+            }
+            FlowSource::OnOff { rng, on_interval, mean_on_s, mean_off_s, on_left_s } => {
+                let step = on_interval.as_secs_f64();
+                let mut gap_s = step;
+                *on_left_s -= step;
+                while *on_left_s <= 0.0 {
+                    // The burst ended: insert an off-period and *add* the
+                    // next on-period to the (negative) balance — carrying
+                    // the deficit, rather than resetting it, keeps the
+                    // long-run packet rate at exactly one per on-interval
+                    // of on-time. A reset would gift every burst one free
+                    // overshoot packet (≈ +24% offered load when the
+                    // on-interval is close to the mean on-period).
+                    gap_s += rng.exponential(1.0 / *mean_off_s);
+                    *on_left_s += rng.exponential(1.0 / *mean_on_s);
+                }
+                SimDuration::from_secs_f64(gap_s)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +355,64 @@ mod tests {
     fn zero_rate_rejected() {
         let mut rng = SimRng::new(5);
         let _ = FlowSpec::cbr(1, 0.0).materialize(3, &mut rng);
+    }
+
+    #[test]
+    fn cbr_gap_is_the_interval_forever() {
+        let mut rng = SimRng::new(6);
+        let mut f = FlowSpec::cbr(1, 4.0).materialize(5, &mut rng).remove(0);
+        for _ in 0..10 {
+            assert_eq!(f.next_gap(), f.interval);
+        }
+    }
+
+    #[test]
+    fn model_labels_round_trip_parse() {
+        for m in [
+            TrafficModel::Cbr,
+            TrafficModel::Poisson,
+            TrafficModel::OnOffBurst { mean_on_s: 5.0, mean_off_s: 5.0 },
+            TrafficModel::OnOffBurst { mean_on_s: 2.5, mean_off_s: 7.5 },
+        ] {
+            assert_eq!(TrafficModel::parse(&m.label()), Some(m.clone()), "{}", m.label());
+        }
+        assert_eq!(
+            TrafficModel::parse("onoff"),
+            Some(TrafficModel::OnOffBurst { mean_on_s: 5.0, mean_off_s: 5.0 })
+        );
+        assert_eq!(TrafficModel::parse("CBR"), Some(TrafficModel::Cbr));
+        assert_eq!(TrafficModel::parse("onoff(0,5)"), None, "zero periods rejected");
+        assert_eq!(TrafficModel::parse("onoff(inf,5)"), None, "non-finite periods rejected");
+        assert_eq!(TrafficModel::parse("onoff(1e400,5)"), None, "overflow-to-inf rejected");
+        assert_eq!(TrafficModel::parse("onoff(nan,5)"), None);
+        assert_eq!(TrafficModel::parse("vbr"), None);
+    }
+
+    #[test]
+    fn cbr_materialisation_ignores_the_model_stream_seed() {
+        // The CBR path must consume exactly the pre-TrafficModel draws:
+        // materialising CBR then drawing from the RNG gives the same
+        // value as never materialising the (pair-free) part at all.
+        let spec = FlowSpec::cbr(2, 4.0).with_pairs(vec![(0, 1), (1, 2)]);
+        let mut a = SimRng::new(9);
+        let flows = spec.materialize(3, &mut a);
+        assert!(flows.iter().all(|f| f.source == FlowSource::Cbr));
+        let mut b = SimRng::new(9);
+        // Replay the draws CBR is allowed: one start per flow.
+        let _ = b.range_f64(20.0, 25.0);
+        let _ = b.range_f64(20.0, 25.0);
+        assert_eq!(a.next_u64(), b.next_u64(), "CBR must not consume a stream seed");
+    }
+
+    #[test]
+    fn onoff_peak_rate_compensates_duty_cycle() {
+        let spec = FlowSpec::cbr(1, 4.0)
+            .with_pairs(vec![(0, 1)])
+            .with_model(TrafficModel::OnOffBurst { mean_on_s: 2.0, mean_off_s: 6.0 });
+        let mut rng = SimRng::new(10);
+        let f = spec.materialize(2, &mut rng).remove(0);
+        let FlowSource::OnOff { on_interval, .. } = &f.source else { panic!() };
+        // Duty cycle 0.25 → on-interval is a quarter of the CBR gap.
+        assert!((on_interval.as_secs_f64() - f.interval.as_secs_f64() * 0.25).abs() < 1e-12);
     }
 }

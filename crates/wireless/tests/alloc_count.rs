@@ -11,7 +11,7 @@
 //! comes back.
 
 use eend_sim::SimDuration;
-use eend_wireless::{presets, stacks, Simulator};
+use eend_wireless::{presets, stacks, Simulator, TrafficModel};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -57,4 +57,34 @@ fn steady_state_run_stays_inside_its_allocation_budget() {
         allocs < 5_000,
         "steady-state run allocated {allocs} times — routing out-buffer pooling regressed?"
     );
+}
+
+#[test]
+fn stochastic_traffic_models_add_no_per_packet_allocations() {
+    // Poisson/on-off gaps are drawn in place from each flow's own RNG
+    // stream: the only extra heap traffic a non-CBR run may add over CBR
+    // is construction-time (the per-flow RNG state lives inline in the
+    // Flow). The budget matches the CBR test's ceiling — if arrival
+    // draws ever start allocating per packet, the thousands of extra
+    // packets blow straight through it.
+    for model in [
+        TrafficModel::Poisson,
+        TrafficModel::OnOffBurst { mean_on_s: 5.0, mean_off_s: 5.0 },
+    ] {
+        let mut scenario = presets::small_network(stacks::titan_pc(), 4.0, 1);
+        scenario.flows = scenario.flows.with_model(model.clone());
+        scenario.duration = SimDuration::from_secs(60);
+        let warm = Simulator::new(&scenario).run();
+        assert!(warm.data_sent > 0);
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let m = Simulator::new(&scenario).run();
+        let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+        assert!(m.data_sent > 100, "{model:?} must carry traffic: {}", m.data_sent);
+        eprintln!("ALLOC_COUNT[{model:?}]={allocs}");
+        assert!(
+            allocs < 5_000,
+            "{model:?} run allocated {allocs} times — arrival draws must stay allocation-free"
+        );
+    }
 }

@@ -7,7 +7,7 @@
 //! reproduce verbatim.
 
 use eend_sim::{SimDuration, SimRng, SimTime};
-use eend_wireless::{stacks, FlowSpec, Placement, ProtocolStack, Scenario, Simulator};
+use eend_wireless::{stacks, FlowSpec, Placement, ProtocolStack, Scenario, Simulator, TrafficModel};
 
 /// Fixed master seed: deterministic across runs and machines.
 const CASE_SEED: u64 = 0xF0_22_5C_E7;
@@ -50,6 +50,7 @@ fn random_scenarios_are_sane() {
                 packet_bytes: 128,
                 start_window: (1.0, 3.0),
                 pairs: None,
+                model: TrafficModel::Cbr,
             },
             SimDuration::from_secs(15),
             seed,

@@ -6,20 +6,33 @@
 //! ```text
 //! eend-cli [--stack TITAN-PC] [--nodes 50] [--area 500] [--flows 10]
 //!          [--rate 4.0] [--secs 120] [--seed 1] [--card cabletron]
-//!          [--speed 0.0] [--csv] [--list-stacks]
+//!          [--speed 0.0] [--traffic cbr|poisson|onoff(5,5)]
+//!          [--radio-profile uniform|mixed-hypo|sparse-hypo]
+//!          [--csv] [--list-stacks]
 //! ```
 //!
 //! Campaign mode — a declarative scenario-matrix sweep (stacks × rates ×
-//! node counts × speeds × seeds) on the bounded parallel executor:
+//! node counts × speeds × traffic models × radio profiles × failure
+//! plans × seeds) on the bounded parallel executor:
 //!
 //! ```text
 //! eend-cli campaign [--preset small|large|density|grid]
 //!                   [--stacks NAME,NAME,...] [--rates 2,4,6]
 //!                   [--node-counts 300,400] [--speeds 0,5]
+//!                   [--traffic cbr,poisson,onoff(5,5)]
+//!                   [--radio-profile uniform,mixed-hypo]
+//!                   [--failures none,3@60,3@60+7@120]
 //!                   [--seeds N] [--seed-base N] [--secs S | --full-secs]
 //!                   [--workers N] [--csv | --json] [--verify-serial]
 //!                   [--out DIR] [--shard I/N] [--limit N]
 //! ```
+//!
+//! `--traffic` sweeps the packet-arrival process at a fixed offered
+//! rate (CBR, Poisson, exponential on/off bursts); `--radio-profile`
+//! sweeps named per-node card mixes; `--failures` sweeps node-kill
+//! plans (`3@60` kills node 3 at 60 s; `+` joins kills into one plan).
+//! All three round-trip through the resumable store's `manifest.json`,
+//! so mixed-axis campaigns resume, shard and merge like plain ones.
 //!
 //! The campaign defaults sweep 4 stacks × 3 rates × 4 seeds (48 jobs) of
 //! shortened small networks. `--csv`/`--json` emit one structured record
@@ -58,12 +71,16 @@
 
 use eend::campaign::store::Manifest;
 use eend::campaign::{
-    merge_stores, BaseScenario, CampaignResult, CampaignSpec, CsvSink, Executor, ResultStore,
+    merge_stores, BaseScenario, CampaignResult, CampaignSpec, CsvSink, Executor, FailurePlan,
+    ResultStore,
 };
 use eend::radio::cards;
 use eend::sim::SimDuration;
 use eend::stats::render_figure;
-use eend::wireless::{presets, stacks, FlowSpec, Mobility, Placement, Scenario, Simulator};
+use eend::wireless::radio_profiles::{self, RadioProfile};
+use eend::wireless::{
+    presets, stacks, FlowSpec, Mobility, Placement, Scenario, Simulator, TrafficModel,
+};
 
 struct Opts {
     stack: String,
@@ -75,6 +92,8 @@ struct Opts {
     seed: u64,
     card: String,
     speed: f64,
+    traffic: TrafficModel,
+    radio_profile: Option<String>,
     csv: bool,
 }
 
@@ -82,8 +101,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: eend-cli [--stack NAME] [--nodes N] [--area METRES] [--flows N]\n\
          \u{20}               [--rate KBPS] [--secs S] [--seed N] [--card NAME]\n\
-         \u{20}               [--speed MPS] [--csv] [--list-stacks]\n\
-         cards: aironet350 | cabletron | hypothetical | mica2 | leach2 | leach4"
+         \u{20}               [--speed MPS] [--traffic MODEL] [--radio-profile NAME]\n\
+         \u{20}               [--csv] [--list-stacks]\n\
+         cards: aironet350 | cabletron | hypothetical | mica2 | leach2 | leach4\n\
+         traffic models: cbr | poisson | onoff | onoff(ON_S,OFF_S)\n\
+         radio profiles: uniform | mixed-hypo | sparse-hypo"
     );
     std::process::exit(2)
 }
@@ -99,6 +121,8 @@ fn parse() -> Opts {
         seed: 1,
         card: "cabletron".into(),
         speed: 0.0,
+        traffic: TrafficModel::Cbr,
+        radio_profile: None,
         csv: false,
     };
     let mut args = std::env::args().skip(1);
@@ -117,6 +141,14 @@ fn parse() -> Opts {
             "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--card" => o.card = val("--card"),
             "--speed" => o.speed = val("--speed").parse().unwrap_or_else(|_| usage()),
+            "--traffic" => {
+                let raw = val("--traffic");
+                o.traffic = TrafficModel::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("error: unknown traffic model {raw:?}");
+                    usage()
+                })
+            }
+            "--radio-profile" => o.radio_profile = Some(val("--radio-profile")),
             "--csv" => o.csv = true,
             "--list-stacks" => {
                 for s in stacks::all() {
@@ -144,6 +176,9 @@ struct CampaignOpts {
     rates: Option<Vec<f64>>,
     node_counts: Vec<usize>,
     speeds: Vec<f64>,
+    traffic: Vec<TrafficModel>,
+    radio_profiles: Vec<RadioProfile>,
+    failures: Vec<FailurePlan>,
     seeds: u64,
     seed_base: u64,
     secs: Option<u64>,
@@ -161,12 +196,18 @@ fn campaign_usage() -> ! {
         "usage: eend-cli campaign [--preset small|large|density|grid]\n\
          \u{20}                        [--stacks NAME,NAME,...] [--rates 2,4,6]\n\
          \u{20}                        [--node-counts 300,400] [--speeds 0,5]\n\
+         \u{20}                        [--traffic cbr,poisson,onoff(5,5)]\n\
+         \u{20}                        [--radio-profile uniform,mixed-hypo,sparse-hypo]\n\
+         \u{20}                        [--failures none,NODE@SECS[+NODE@SECS...],...]\n\
          \u{20}                        [--seeds N] [--seed-base N] [--secs S | --full-secs]\n\
          \u{20}                        [--workers N] [--csv | --json] [--verify-serial]\n\
          \u{20}                        [--out DIR] [--shard I/N] [--limit N]\n\
          \u{20}      eend-cli campaign merge DIR1 DIR2 ... [--csv | --json]\n\
          defaults: small preset, TITAN-PC/DSR-ODPM-PC/DSR-ODPM/DSR-Active,\n\
          rates 2,4,6 Kbit/s, 4 seeds, 60 s — a 48-job grid.\n\
+         --traffic sweeps the arrival process (same offered rate per model);\n\
+         --radio-profile sweeps per-node card mixes; --failures sweeps kill\n\
+         \u{20} plans, e.g. --failures none,3@60,3@60+7@120 (node 3 dies at 60 s).\n\
          --full-secs drops the duration cap (the presets' paper-scale 600/900 s).\n\
          --out DIR streams records into a resumable on-disk store; re-running\n\
          \u{20} the same campaign skips completed jobs. --shard I/N runs only\n\
@@ -174,6 +215,26 @@ fn campaign_usage() -> ! {
          \u{20} after N pending jobs."
     );
     std::process::exit(2)
+}
+
+/// Parses one `--failures` element: `none`, or `+`-joined `NODE@SECS`
+/// kill events (the element's literal spelling becomes the plan label).
+fn parse_failure_plan(raw: &str) -> Option<FailurePlan> {
+    let spec = raw.trim();
+    if spec.eq_ignore_ascii_case("none") {
+        return Some(FailurePlan::none());
+    }
+    let mut kills = Vec::new();
+    for kill in spec.split('+') {
+        let (node, at_s) = kill.split_once('@')?;
+        let node: usize = node.trim().parse().ok()?;
+        let at_s: f64 = at_s.trim().parse().ok()?;
+        if !(at_s.is_finite() && at_s >= 0.0) {
+            return None;
+        }
+        kills.push((at_s, node));
+    }
+    (!kills.is_empty()).then(|| FailurePlan { label: spec.to_owned(), kills })
 }
 
 /// Splits a `--stacks` list on commas that sit outside parentheses, so
@@ -231,6 +292,9 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
         rates: None,
         node_counts: Vec::new(),
         speeds: Vec::new(),
+        traffic: Vec::new(),
+        radio_profiles: Vec::new(),
+        failures: Vec::new(),
         seeds: 4,
         seed_base: 0,
         secs: Some(60),
@@ -264,6 +328,44 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
                 o.node_counts = parse_list("--node-counts", &val("--node-counts"), campaign_usage)
             }
             "--speeds" => o.speeds = parse_list("--speeds", &val("--speeds"), campaign_usage),
+            "--traffic" => {
+                // Parenthesis-aware split so onoff(5,5) survives intact.
+                o.traffic = split_stacks(&val("--traffic"))
+                    .iter()
+                    .map(|m| {
+                        TrafficModel::parse(m).unwrap_or_else(|| {
+                            eprintln!("error: unknown traffic model {m:?}");
+                            campaign_usage()
+                        })
+                    })
+                    .collect()
+            }
+            "--radio-profile" => {
+                o.radio_profiles = val("--radio-profile")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|name| {
+                        radio_profiles::by_name(name).unwrap_or_else(|| {
+                            eprintln!("error: unknown radio profile {name:?}");
+                            campaign_usage()
+                        })
+                    })
+                    .collect()
+            }
+            "--failures" => {
+                o.failures = val("--failures")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|p| {
+                        parse_failure_plan(p).unwrap_or_else(|| {
+                            eprintln!(
+                                "error: bad failure plan {p:?} (want none or NODE@SECS[+NODE@SECS...])"
+                            );
+                            campaign_usage()
+                        })
+                    })
+                    .collect()
+            }
             "--seeds" => o.seeds = val("--seeds").parse().unwrap_or_else(|_| campaign_usage()),
             "--seed-base" => {
                 o.seed_base = val("--seed-base").parse().unwrap_or_else(|_| campaign_usage())
@@ -361,6 +463,9 @@ fn run_campaign(o: CampaignOpts) {
         .rates(rates)
         .node_counts(o.node_counts.clone())
         .speeds(o.speeds.clone())
+        .traffic(o.traffic.clone())
+        .radio_profiles(o.radio_profiles.clone())
+        .failures(o.failures.clone())
         .seeds(o.seeds)
         .seed_base(o.seed_base);
     if let Some(secs) = o.secs {
@@ -456,14 +561,22 @@ fn emit_result(
         return;
     }
     // Aggregated per-cell view: pick the x axis that was actually swept,
-    // then partition the records on every *other* swept axis so no cell
-    // pools samples from different grid coordinates (a CI over mixed
-    // rates would measure rate spread, not seed noise).
+    // then partition the records on every *other* swept axis — numeric
+    // (rate, nodes, speed) and categorical (traffic model, radio
+    // profile, failure plan) alike — so no cell pools samples from
+    // different grid coordinates (a CI over mixed rates or mixed
+    // workload shapes would measure axis spread, not seed noise).
     type Axis = (&'static str, fn(&eend::campaign::GridPoint) -> f64);
+    type CatAxis = (&'static str, fn(&eend::campaign::GridPoint) -> &str);
     let axes: [Axis; 3] = [
         ("rate Kbit/s", |p| p.rate_kbps),
         ("node count", |p| p.nodes as f64),
         ("speed m/s", |p| p.speed_mps),
+    ];
+    let cat_axes: [CatAxis; 3] = [
+        ("traffic", |p| &p.traffic),
+        ("radio", |p| &p.radio),
+        ("failure", |p| &p.failure),
     ];
     let swept = |ax: &Axis| -> Vec<f64> {
         let mut vals: Vec<f64> = Vec::new();
@@ -485,14 +598,14 @@ fn emit_result(
     let (x_name, x) = axes[x_idx];
     // Cartesian product of the other axes' distinct values (almost
     // always a single empty combination).
-    let mut partitions: Vec<Vec<(Axis, f64)>> = vec![Vec::new()];
+    let mut num_partitions: Vec<Vec<(Axis, f64)>> = vec![Vec::new()];
     for (i, ax) in axes.iter().enumerate() {
         if i == x_idx {
             continue;
         }
         let vals = swept(ax);
         if vals.len() > 1 {
-            partitions = partitions
+            num_partitions = num_partitions
                 .into_iter()
                 .flat_map(|combo| {
                     vals.iter().map(move |&v| {
@@ -504,19 +617,49 @@ fn emit_result(
                 .collect();
         }
     }
-    for combo in &partitions {
+    type Partition = (Vec<(Axis, f64)>, Vec<(CatAxis, String)>);
+    let mut partitions: Vec<Partition> =
+        num_partitions.into_iter().map(|n| (n, Vec::new())).collect();
+    for ax in &cat_axes {
+        let mut vals: Vec<&str> = Vec::new();
+        for r in &result.records {
+            let v = ax.1(&r.point);
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        if vals.len() > 1 {
+            partitions = partitions
+                .into_iter()
+                .flat_map(|(num, cat)| {
+                    vals.iter()
+                        .map(|v| {
+                            let mut c = cat.clone();
+                            c.push((*ax, (*v).to_owned()));
+                            (num.clone(), c)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+        }
+    }
+    for (num, cat) in &partitions {
         let subset = eend::campaign::CampaignResult {
             campaign: result.campaign.clone(),
             records: result
                 .records
                 .iter()
-                .filter(|r| combo.iter().all(|(ax, v)| ax.1(&r.point) == *v))
+                .filter(|r| {
+                    num.iter().all(|(ax, v)| ax.1(&r.point) == *v)
+                        && cat.iter().all(|(ax, v)| ax.1(&r.point) == v)
+                })
                 .cloned()
                 .collect(),
         };
-        let suffix: String = combo
+        let suffix: String = num
             .iter()
             .map(|((name, _), v)| format!(", {name} = {v}"))
+            .chain(cat.iter().map(|((name, _), v)| format!(", {name} = {v}")))
             .collect();
         let delivery = subset.series(x, |m| m.delivery_ratio());
         println!("{}", render_figure(&format!("delivery ratio (x = {x_name}{suffix})"), &delivery));
@@ -865,15 +1008,44 @@ fn main() {
         scenario =
             scenario.with_mobility(Mobility::random_waypoint((o.speed / 2.0).max(0.1), o.speed, 5.0));
     }
+    scenario.flows = scenario.flows.with_model(o.traffic.clone());
+    if let Some(name) = &o.radio_profile {
+        let profile = radio_profiles::by_name(name).unwrap_or_else(|| {
+            eprintln!("error: unknown radio profile {name:?}");
+            usage()
+        });
+        if let eend::wireless::CardAssignment::Alternating(cards) = &profile.assignment {
+            // PHY range always comes from --card; a profile mixing cards
+            // of a different range would be billed unphysically.
+            if let Some(c) = cards.iter().find(|c| c.nominal_range_m != card.nominal_range_m) {
+                eprintln!(
+                    "error: radio profile {name:?} mixes {} ({} m range) but --card {} has a \
+                     {} m range — profiles only apply over a range-matched base card",
+                    c.name, c.nominal_range_m, card.name, card.nominal_range_m
+                );
+                std::process::exit(2)
+            }
+        }
+        scenario = scenario.with_card_assignment(profile.assignment);
+    }
+    let node_cards = scenario.node_cards(o.nodes);
     let m = Simulator::new(&scenario).run();
 
     if o.csv {
+        // onoff(ON,OFF) labels contain a comma: quote per RFC 4180.
+        let traffic_label = o.traffic.label();
+        let traffic_field = if traffic_label.contains(',') {
+            format!("\"{traffic_label}\"")
+        } else {
+            traffic_label
+        };
         eprintln!(
-            "stack,nodes,area_m,flows,rate_kbps,secs,seed,delivery,goodput_bit_per_j,\
-             enetwork_j,transmit_j,control_j,relays,rreq,dsdv_updates,lifetime_1kj_s"
+            "stack,nodes,area_m,flows,rate_kbps,secs,seed,traffic,radio,delivery,\
+             goodput_bit_per_j,enetwork_j,transmit_j,control_j,relays,rreq,dsdv_updates,\
+             lifetime_1kj_s"
         );
         println!(
-            "{},{},{},{},{},{},{},{:.4},{:.1},{:.1},{:.1},{:.1},{},{},{},{:.0}",
+            "{},{},{},{},{},{},{},{},{},{:.4},{:.1},{:.1},{:.1},{:.1},{},{},{},{:.0}",
             name,
             o.nodes,
             o.area,
@@ -881,6 +1053,8 @@ fn main() {
             o.rate_kbps,
             o.secs,
             o.seed,
+            traffic_field,
+            o.radio_profile.as_deref().unwrap_or("uniform"),
             m.delivery_ratio(),
             m.energy_goodput_bit_per_j(),
             m.enetwork_j(),
@@ -902,5 +1076,15 @@ fn main() {
         println!("  collisions          {} broadcast, {} RTS; {} link failures", m.broadcast_collisions, m.rts_collisions, m.link_failures);
         println!("  drops               {} no-route, {} link, {} buffer, {} ifq", m.drops_no_route, m.drops_link_failure, m.drops_buffer, m.drops_ifq);
         println!("  lifetime (1 kJ)     {:.0} s to first death, imbalance {:.2}", m.lifetime_to_first_death_s(1000.0), m.energy_imbalance());
+        // Heterogeneous runs: break the energy bill down by card class.
+        let by_card = m.energy_by_card(&node_cards);
+        if by_card.len() > 1 {
+            for (name, count, report) in by_card {
+                println!(
+                    "  energy[{name}]      {:.1} J over {count} node(s)",
+                    report.total_mj() / 1000.0
+                );
+            }
+        }
     }
 }

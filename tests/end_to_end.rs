@@ -2,7 +2,9 @@
 
 use eend::radio::EnergyReport;
 use eend::sim::{SimDuration, SimTime};
-use eend::wireless::{presets, stacks, FlowSpec, Placement, ProtocolStack, Scenario, Simulator};
+use eend::wireless::{
+    presets, stacks, FlowSpec, Placement, ProtocolStack, Scenario, Simulator, TrafficModel,
+};
 
 fn all_stacks() -> Vec<ProtocolStack> {
     vec![
@@ -119,6 +121,7 @@ fn five_hop_chain_delivers_in_order() {
             packet_bytes: 128,
             start_window: (1.0, 1.0),
             pairs: Some(vec![(0, 5)]),
+            model: TrafficModel::Cbr,
         },
         SimDuration::from_secs(60),
         3,
@@ -169,6 +172,7 @@ fn failure_injection_heals_routes() {
             packet_bytes: 128,
             start_window: (1.0, 1.0),
             pairs: Some(vec![(0, 4)]),
+            model: TrafficModel::Cbr,
         },
         SimDuration::from_secs(80),
         21,
