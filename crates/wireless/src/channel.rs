@@ -235,6 +235,26 @@ impl Channel {
         self.rebuild_neighbors();
     }
 
+    /// [`Channel::update_positions`] fused with per-node neighbour
+    /// accounting: `counts[u]` is set to the number of `u`'s new
+    /// neighbours satisfying `is_active`, computed while each freshly
+    /// built list is still cache-hot. This replaces a second full pass
+    /// over the neighbour sets per mobility tick (the counts are
+    /// identical to recomputing after the rebuild — same lists, same
+    /// predicate).
+    pub fn update_positions_with_counts(
+        &mut self,
+        step: impl FnOnce(&mut [(f64, f64)]),
+        is_active: impl Fn(NodeId) -> bool,
+        counts: &mut [u32],
+    ) {
+        step(&mut self.positions);
+        self.grid.refresh(&self.positions);
+        self.rebuild_neighbors_with(|u, nb| {
+            counts[u] = nb.iter().filter(|&&w| is_active(w)).count() as u32;
+        });
+    }
+
     /// Current position of node `u`, metres.
     pub fn position(&self, u: NodeId) -> (f64, f64) {
         self.positions[u]
@@ -250,6 +270,14 @@ impl Channel {
     /// scan instead: half the distance checks, no per-node sort needed
     /// (both sides are filled in ascending order).
     fn rebuild_neighbors(&mut self) {
+        self.rebuild_neighbors_with(|_, _| {});
+    }
+
+    /// [`Channel::rebuild_neighbors`] with a per-node hook: `note(u,
+    /// nb)` fires once per node with its finished (sorted) neighbour
+    /// list, letting callers derive per-node aggregates without a second
+    /// pass.
+    fn rebuild_neighbors_with(&mut self, mut note: impl FnMut(NodeId, &[NodeId])) {
         let n = self.positions.len();
         if self.grid.cols <= 3 && self.grid.rows <= 3 {
             for nb in &mut self.neighbors {
@@ -264,6 +292,9 @@ impl Channel {
                     }
                 }
             }
+            for u in 0..n {
+                note(u, &self.neighbors[u]);
+            }
             return;
         }
         for u in 0..n {
@@ -276,6 +307,7 @@ impl Channel {
                 }
             });
             nb.sort_unstable();
+            note(u, &nb);
             self.neighbors[u] = nb;
         }
     }

@@ -149,6 +149,96 @@ impl RunMetrics {
         }
         totals.iter().copied().fold(0.0, f64::max) / mean
     }
+
+    /// Compact, fully-deterministic rendering for golden snapshots of
+    /// *large* runs. The full `{:#?}` rendering used by the small-network
+    /// goldens would emit one [`EnergyReport`] block per node — tens of
+    /// thousands of lines at scale — so this digest keeps every scalar
+    /// counter verbatim, the network [`EnergyReport`] total, and replaces
+    /// the per-node vector and route list with an order-sensitive FNV-1a
+    /// hash over their exact bit patterns. Any single-bit drift in any
+    /// per-node f64 still flips the digest, so the pin is as tight as the
+    /// full rendering at a constant size.
+    pub fn scale_digest(&self) -> String {
+        let mut h = Fnv1a::new();
+        for r in &self.per_node_energy {
+            for v in [
+                r.idle_mj, r.sleep_mj, r.switch_mj, r.tx_data_mj, r.tx_ctrl_mj, r.rx_data_mj,
+                r.rx_ctrl_mj,
+            ] {
+                h.write_u64(v.to_bits());
+            }
+            for t in [r.time_tx, r.time_rx, r.time_idle, r.time_sleep] {
+                h.write_u64(t.as_nanos());
+            }
+            h.write_u64(r.wakeups);
+        }
+        let energy_hash = h.finish();
+        let mut h = Fnv1a::new();
+        for route in &self.routes {
+            match route {
+                None => h.write_u64(u64::MAX),
+                Some(path) => {
+                    h.write_u64(path.len() as u64);
+                    for &hop in path {
+                        h.write_u64(hop as u64);
+                    }
+                }
+            }
+        }
+        let routes_hash = h.finish();
+        format!(
+            "nodes: {}\ndata_sent: {}\ndata_delivered: {}\ndelivered_bits: {:?}\n\
+             drops_no_route: {}\ndrops_link_failure: {}\ndrops_buffer: {}\ndrops_ifq: {}\n\
+             rreq_tx: {}\nrrep_tx: {}\nrerr_tx: {}\ndsdv_update_tx: {}\natim_tx: {}\n\
+             broadcast_collisions: {}\nrts_collisions: {}\nlink_failures: {}\n\
+             energy_total: {:#?}\nper_node_energy_fnv1a: {:#018x}\n\
+             data_forwarders: {}\nroutes_fnv1a: {:#018x}\nduration_s: {:?}\n",
+            self.per_node_energy.len(),
+            self.data_sent,
+            self.data_delivered,
+            self.delivered_bits,
+            self.drops_no_route,
+            self.drops_link_failure,
+            self.drops_buffer,
+            self.drops_ifq,
+            self.rreq_tx,
+            self.rrep_tx,
+            self.rerr_tx,
+            self.dsdv_update_tx,
+            self.atim_tx,
+            self.broadcast_collisions,
+            self.rts_collisions,
+            self.link_failures,
+            self.energy_total,
+            energy_hash,
+            self.data_forwarders,
+            routes_hash,
+            self.duration_s,
+        )
+    }
+}
+
+/// Minimal FNV-1a over u64 words, for [`RunMetrics::scale_digest`].
+/// (The std hasher's output is not guaranteed stable across releases;
+/// golden files need a fixed function.)
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,65 @@ pub fn mobility_bench(stack: ProtocolStack, n: usize, seed: u64) -> Scenario {
     .with_mobility(crate::mobility::Mobility::random_waypoint(2.5, 5.0, 5.0))
 }
 
+/// Scale-benchmark family: a `side`×`side` grid at the small-network
+/// density (one node per 5000 m², ~70.7 m spacing), 16 CBR flows at
+/// 4 Kbit/s between grid-local pairs, random-waypoint mobility at
+/// 2.5–5 m/s with 5 s pauses, 20 s horizon, Cabletron.
+///
+/// Two deliberate departures from [`mobility_bench`] keep the family
+/// runnable at 10⁴–10⁵ nodes:
+///
+/// * **Fixed flow count.** Traffic (and hence reactive-discovery
+///   flooding) stays constant while the field grows, so the workload
+///   isolates the per-node simulator cost — event queue, neighbor
+///   maintenance, beaconing — rather than drowning it in O(n) flows.
+/// * **Grid placement with id-local pairs.** Row-major grid ids make
+///   physical locality expressible as id arithmetic: each flow spans
+///   three rows and three columns (~300 m, 2–3 hops), independent of
+///   network size, so routes exist and delivery is non-trivial even on
+///   a 22 km field.
+///
+/// Named sizes: [`mobility1k`] (32² = 1 024), [`mobility10k`]
+/// (100² = 10 000), [`mobility100k`] (316² = 99 856).
+pub fn mobility_scale(stack: ProtocolStack, side: usize, seed: u64) -> Scenario {
+    assert!(side >= 8, "scale preset needs at least an 8x8 grid");
+    let n = side * side;
+    // Small-network density: 50 nodes in 500x500 m² = 5000 m² per node.
+    let spacing = 5000.0_f64.sqrt();
+    let extent = (side - 1) as f64 * spacing;
+    // 16 sources spread evenly over the grid, each sending to the node
+    // three rows down and three columns right (~300 m away). Sources
+    // stop 4 rows short of the bottom edge so every destination exists.
+    let stride = (n - 4 * side) / 16;
+    let pairs: Vec<(NodeId, NodeId)> = (0..16).map(|k| (k * stride, k * stride + 3 * side + 3)).collect();
+    Scenario::new(
+        Placement::Grid { rows: side, cols: side, width: extent, height: extent },
+        cards::cabletron(),
+        stack,
+        // Traffic starts at 1–2 s instead of the paper's 20–25 s so the
+        // short horizon is almost all steady state.
+        FlowSpec::cbr(16, 4.0).with_pairs(pairs).with_start_window(1.0, 2.0),
+        SimDuration::from_secs(20),
+        seed,
+    )
+    .with_mobility(crate::mobility::Mobility::random_waypoint(2.5, 5.0, 5.0))
+}
+
+/// [`mobility_scale`] at 32×32 = 1 024 nodes.
+pub fn mobility1k(stack: ProtocolStack, seed: u64) -> Scenario {
+    mobility_scale(stack, 32, seed)
+}
+
+/// [`mobility_scale`] at 100×100 = 10 000 nodes.
+pub fn mobility10k(stack: ProtocolStack, seed: u64) -> Scenario {
+    mobility_scale(stack, 100, seed)
+}
+
+/// [`mobility_scale`] at 316×316 = 99 856 nodes.
+pub fn mobility100k(stack: ProtocolStack, seed: u64) -> Scenario {
+    mobility_scale(stack, 316, seed)
+}
+
 /// Heterogeneous variant of [`small_network`]: the same 50-node field
 /// with the [`crate::scenario::radio_profiles::mixed_hypo`] card
 /// assignment — Cabletron and Hypothetical Cabletron interleaved, so
@@ -172,6 +231,35 @@ mod tests {
             names,
             ["Cabletron", "Hypothetical Cabletron", "Cabletron", "Hypothetical Cabletron"]
         );
+    }
+
+    #[test]
+    fn scale_presets_keep_density_and_local_flows() {
+        for (scenario, n, side) in [
+            (mobility1k(stacks::titan_pc(), 1), 1024usize, 32usize),
+            (mobility10k(stacks::titan_pc(), 1), 10_000, 100),
+            (mobility100k(stacks::titan_pc(), 1), 99_856, 316),
+        ] {
+            assert_eq!(scenario.placement.node_count(), n);
+            let Placement::Grid { width, height, .. } = scenario.placement else {
+                panic!("scale preset must be a grid");
+            };
+            // Density matches small_network: one node per ~5000 m²
+            // (grid edges make it exact only in the n→∞ limit).
+            let spacing = width / (side - 1) as f64;
+            assert!((spacing * spacing - 5000.0).abs() < 1e-6, "spacing² = {}", spacing * spacing);
+            assert_eq!(width, height);
+            let pairs = scenario.flows.pairs.as_ref().unwrap();
+            assert_eq!(pairs.len(), 16);
+            for &(s, d) in pairs {
+                assert!(d < n, "destination in bounds");
+                // Every flow spans exactly 3 rows + 3 cols (~300 m):
+                // multi-hop, but size-independent.
+                assert_eq!(d - s, 3 * side + 3);
+            }
+            assert_eq!(scenario.duration, SimDuration::from_secs(20));
+            assert_ne!(scenario.mobility, crate::mobility::Mobility::Static, "scale presets are mobile");
+        }
     }
 
     #[test]

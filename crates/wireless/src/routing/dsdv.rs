@@ -93,6 +93,14 @@ pub struct DsdvRouting {
     /// Destinations adopted since the last advertisement; triggered
     /// updates are *incremental* (DSDV's design) and carry only these.
     dirty: Vec<NodeId>,
+    /// Reverse next-hop index: neighbour → destinations routed through
+    /// it at some point. Entries go stale when a destination's next hop
+    /// changes, so consumers re-check `table` while draining; staleness
+    /// never affects the outcome because invalidation is idempotent.
+    /// This is what makes link-failure handling O(routes via the dead
+    /// hop) instead of a full-table scan per MAC-reported failure — the
+    /// per-event cost that used to grow with network size.
+    via: HashMap<NodeId, Vec<NodeId>>,
     /// Updates broadcast (metrics).
     pub updates_sent: u64,
 }
@@ -107,6 +115,7 @@ impl DsdvRouting {
             own_seq: 0,
             last_trigger: None,
             dirty: Vec::new(),
+            via: HashMap::new(),
             updates_sent: 0,
         }
     }
@@ -269,6 +278,20 @@ impl DsdvRouting {
                 }
                 self.table.insert(e.dst, TableRoute { next: from, metric: new_metric, seq: e.seq });
                 self.dirty.push(e.dst);
+                self.via.entry(from).or_default().push(e.dst);
+            }
+        }
+        // Amortised compaction of the reverse index: once the list for
+        // this neighbour outgrows the (deduplicated) routes it could
+        // possibly cover, drop the stale entries. Growth back to the
+        // threshold takes at least `table.len()` adoptions, so the cost
+        // is O(1) amortised per adoption.
+        if let Some(list) = self.via.get_mut(&from) {
+            if list.len() > 16 && list.len() > 2 * self.table.len() {
+                list.sort_unstable();
+                list.dedup();
+                let table = &self.table;
+                list.retain(|d| table.get(d).is_some_and(|r| r.next == from));
             }
         }
         // Flush buffered packets whose destinations became reachable.
@@ -326,10 +349,21 @@ impl DsdvRouting {
         out: &mut Vec<Action>,
     ) {
         let Some(bad) = frame.rx else { return };
-        for r in self.table.values_mut() {
-            if r.next == bad && r.metric.is_finite() {
-                r.metric = f64::INFINITY;
-                r.seq += 1;
+        // Drain the reverse index instead of scanning the whole table:
+        // every route whose *current* next hop is `bad` was pushed into
+        // `via[bad]` when it was adopted. Stale entries (next hop since
+        // changed) fail the `r.next == bad` re-check; duplicates are
+        // harmless because the first invalidation flips the metric to
+        // infinite and later visits skip on `is_finite`. The table state
+        // afterwards is exactly what the full scan produced.
+        if let Some(mut dsts) = self.via.remove(&bad) {
+            for dst in dsts.drain(..) {
+                if let Some(r) = self.table.get_mut(&dst) {
+                    if r.next == bad && r.metric.is_finite() {
+                        r.metric = f64::INFINITY;
+                        r.seq += 1;
+                    }
+                }
             }
         }
         if frame.packet.kind.is_data() {

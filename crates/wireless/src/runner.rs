@@ -74,12 +74,18 @@ struct Txn {
     data_power_mw: f64,
 }
 
+/// Cold per-node state: the MAC and routing state machines plus the
+/// in-flight transaction. Hot per-node state (position, velocity, radio
+/// power state, card index, energy accumulator) lives in
+/// struct-of-arrays storage owned by [`Simulator`] — positions and
+/// waypoint velocities in the [`Channel`] / waypoint buffers, energy
+/// meters in `Simulator::meters`, card indices in `Simulator::card_idx`
+/// — so mobility stepping, grid re-bucketing and live/log scans stream
+/// through contiguous memory instead of striding across node structs.
 struct Node {
     mac: MacState,
-    meter: EnergyMeter,
     routing: RoutingAgent,
     txn: Option<Txn>,
-    forwarded_data: bool,
 }
 
 /// Event-queue health counters of a completed run, reported by
@@ -96,6 +102,10 @@ pub struct QueueStats {
     pub peak_len: usize,
     /// Total events scheduled over the whole run.
     pub scheduled_total: u64,
+    /// Whether the run used the hierarchical timing-wheel backend
+    /// (selected automatically above
+    /// [`eend_sim::queue::WHEEL_CAPACITY_THRESHOLD`] expected events).
+    pub is_wheel_backend: bool,
 }
 
 /// The packet-level simulator. Construct with [`Simulator::new`], call
@@ -106,8 +116,12 @@ pub struct Simulator {
     // fixed from the scenario's base card when the channel was built
     // (see `CardAssignment`). Under a uniform assignment every entry is
     // the base card, so the arithmetic is bit-identical to the
-    // homogeneous implementation.
-    cards: Vec<RadioCard>,
+    // homogeneous implementation. Cards are deduplicated: `card_table`
+    // holds the distinct cards (usually one or two), `card_idx` maps
+    // node → table slot, so the per-node hot array is 4 bytes wide
+    // instead of a full `RadioCard`.
+    card_table: Vec<RadioCard>,
+    card_idx: Vec<u32>,
     mac_timing: MacTiming,
     policy: PowerPolicy,
     psm: crate::power::PsmConfig,
@@ -119,6 +133,13 @@ pub struct Simulator {
     rng: SimRng,
     channel: Channel,
     nodes: Vec<Node>,
+    // Struct-of-arrays hot state (see the [`Node`] doc): the energy
+    // accumulators and data-forwarder flags every charge/scan touches,
+    // stored contiguously per field. The radio power state rides inside
+    // each meter; positions and waypoint velocities live in `channel` /
+    // `waypoints`.
+    meters: Vec<EnergyMeter>,
+    forwarded: Vec<bool>,
     pm: Vec<NodePm>,
     pm_modes: Vec<PmMode>,
     flows: Vec<Flow>,
@@ -210,10 +231,27 @@ impl Simulator {
             PmMode::PowerSave => RadioState::Sleep,
         };
         let cards = scenario.node_cards(n);
+        // Deduplicate the per-node cards into a table + index: uniform
+        // assignments collapse to one entry, alternating ones to the
+        // distinct cards in first-appearance order.
+        let mut card_table: Vec<RadioCard> = Vec::new();
+        let card_idx: Vec<u32> = cards
+            .iter()
+            .map(|c| match card_table.iter().position(|t| t == c) {
+                Some(i) => i as u32,
+                None => {
+                    card_table.push(*c);
+                    (card_table.len() - 1) as u32
+                }
+            })
+            .collect();
+        let meters: Vec<EnergyMeter> = cards
+            .iter()
+            .map(|c| EnergyMeter::starting(*c, SimTime::ZERO, initial_state))
+            .collect();
         let nodes = (0..n)
-            .map(|i| Node {
+            .map(|_| Node {
                 mac: MacState::new(scenario.queue_capacity),
-                meter: EnergyMeter::starting(cards[i], SimTime::ZERO, initial_state),
                 routing: match &scenario.stack.routing {
                     RoutingKind::Reactive(cfg) => {
                         RoutingAgent::Reactive(ReactiveRouting::new(*cfg))
@@ -221,7 +259,6 @@ impl Simulator {
                     RoutingKind::Dsdv(cfg) => RoutingAgent::Dsdv(DsdvRouting::new(*cfg)),
                 },
                 txn: None,
-                forwarded_data: false,
             })
             .collect();
 
@@ -231,7 +268,8 @@ impl Simulator {
         // plus delayed-forwarding bursts) and one PacketGen per flow.
         let event_capacity = (16 * n + 4 * flows.len() + 64).next_power_of_two();
         let mut sim = Simulator {
-            cards,
+            card_table,
+            card_idx,
             mac_timing: scenario.mac,
             policy: scenario.stack.power_policy,
             psm: scenario.stack.psm,
@@ -242,6 +280,8 @@ impl Simulator {
             rng: sim_rng,
             channel,
             nodes,
+            meters,
+            forwarded: vec![false; n],
             pm: (0..n).map(|_| NodePm::new(initial_mode)).collect(),
             pm_modes: vec![initial_mode; n],
             flows,
@@ -301,6 +341,7 @@ impl Simulator {
     /// no-reallocation invariant pinned by the queue-capacity test).
     pub fn run_with_stats(mut self) -> (RunMetrics, QueueStats) {
         let initial_capacity = self.queue.capacity();
+        let is_wheel_backend = self.queue.is_wheel_backend();
         while let Some(t) = self.queue.peek_time() {
             if t > self.end {
                 break;
@@ -315,6 +356,7 @@ impl Simulator {
             capacity: self.queue.capacity(),
             peak_len: self.queue.peak_len(),
             scheduled_total: self.queue.scheduled_total(),
+            is_wheel_backend,
         };
         (self.finish(), stats)
     }
@@ -322,12 +364,12 @@ impl Simulator {
     fn finish(mut self) -> RunMetrics {
         let end = self.end;
         let per_node_energy: Vec<EnergyReport> =
-            self.nodes.iter_mut().map(|n| n.meter.finish(end)).collect();
+            self.meters.iter_mut().map(|m| m.finish(end)).collect();
         let mut energy_total = EnergyReport::default();
         for r in &per_node_energy {
             energy_total.accumulate(r);
         }
-        let data_forwarders = self.nodes.iter().filter(|n| n.forwarded_data).count();
+        let data_forwarders = self.forwarded.iter().filter(|&&f| f).count();
         RunMetrics {
             data_sent: self.m.data_sent,
             data_delivered: self.m.data_delivered,
@@ -414,21 +456,26 @@ impl Simulator {
         let (speed_range, pause_s, tick) = (*speed_range, pause.as_secs_f64(), *tick);
         // Step the waypoint model directly on the channel's position
         // buffer: no per-tick vector is built, and the channel refreshes
-        // its spatial grid incrementally afterwards.
-        let Simulator { channel, waypoints, bounds, mobility_rng, .. } = self;
-        channel.update_positions(|positions| {
-            crate::mobility::step_waypoints(
-                positions,
-                waypoints,
-                *bounds,
-                speed_range,
-                pause_s,
-                tick.as_secs_f64(),
-                mobility_rng,
-            )
-        });
-        // Neighbour sets changed: the backbone counts must follow.
-        self.recompute_active_neighbors();
+        // its spatial grid incrementally afterwards. The backbone counts
+        // are derived inside the same rebuild (each fresh neighbour list
+        // is counted while cache-hot) rather than in a second full pass.
+        let Simulator { channel, waypoints, bounds, mobility_rng, pm_modes, active_neighbors, .. } =
+            self;
+        channel.update_positions_with_counts(
+            |positions| {
+                crate::mobility::step_waypoints(
+                    positions,
+                    waypoints,
+                    *bounds,
+                    speed_range,
+                    pause_s,
+                    tick.as_secs_f64(),
+                    mobility_rng,
+                )
+            },
+            |w| pm_modes[w] == PmMode::ActiveMode,
+            active_neighbors,
+        );
         self.queue.schedule(self.time + tick, Event::MobilityTick);
     }
 
@@ -445,8 +492,8 @@ impl Simulator {
         self.pm[u].awake_until = SimTime::ZERO;
         self.pm[u].mode = PmMode::PowerSave;
         self.set_pm_mode(u, PmMode::PowerSave);
-        if !self.nodes[u].mac.busy && self.nodes[u].meter.state() != RadioState::Sleep {
-            self.nodes[u].meter.set_sleep(self.time);
+        if !self.nodes[u].mac.busy && self.meters[u].state() != RadioState::Sleep {
+            self.meters[u].set_sleep(self.time);
         }
     }
 
@@ -490,14 +537,15 @@ impl Simulator {
         // no per-event Vec<Action> allocation in steady state.
         let mut out = self.action_pool.pop().unwrap_or_default();
         debug_assert!(out.is_empty());
-        let Simulator { nodes, channel, pm_modes, rng, cards, mac_timing, time, active_neighbors, .. } =
-            self;
+        let Simulator {
+            nodes, channel, pm_modes, rng, card_table, card_idx, mac_timing, time, active_neighbors, ..
+        } = self;
         let mut ctx = RoutingCtx {
             node: u,
             now: *time,
             channel,
             pm_modes,
-            card: &cards[u],
+            card: &card_table[card_idx[u] as usize],
             bandwidth_bps: mac_timing.bandwidth_bps,
             rng,
             active_neighbors: Some(active_neighbors),
@@ -534,6 +582,12 @@ impl Simulator {
                 active_neighbors[w] -= 1;
             }
         }
+    }
+
+    /// The radio card node `u` carries (via the deduplicated table).
+    #[inline]
+    fn card(&self, u: NodeId) -> &RadioCard {
+        &self.card_table[self.card_idx[u] as usize]
     }
 
     fn apply_actions(&mut self, u: NodeId, mut actions: Vec<Action>) {
@@ -697,9 +751,9 @@ impl Simulator {
                 let plan = UnicastPlan::for_bytes(&self.mac_timing, bytes);
                 let dist = self.channel.distance(u, v);
                 let data_power_mw = if frame.packet.kind.is_data() {
-                    self.cards[u].data_tx_power_mw(dist, self.power_control)
+                    self.card(u).data_tx_power_mw(dist, self.power_control)
                 } else {
-                    self.cards[u].max_tx_total_power_mw()
+                    self.card(u).max_tx_total_power_mw()
                 };
                 let end = now + plan.end;
                 self.channel.begin_tx(u, Some(v), now, end);
@@ -733,7 +787,7 @@ impl Simulator {
                     kind: TxnKind::Broadcast { receivers, frame },
                     start: now,
                     plan: UnicastPlan::for_bytes(&self.mac_timing, bytes),
-                    data_power_mw: self.cards[u].max_tx_total_power_mw(),
+                    data_power_mw: self.card(u).max_tx_total_power_mw(),
                 });
                 self.queue.schedule(end, Event::TxnEnd(u));
             }
@@ -883,7 +937,7 @@ impl Simulator {
             PacketKind::DsdvUpdate { .. } => self.m.dsdv_update_tx += 1,
             PacketKind::Data { .. } => {
                 if frame.packet.src != u {
-                    self.nodes[u].forwarded_data = true;
+                    self.forwarded[u] = true;
                 }
             }
         }
@@ -893,8 +947,8 @@ impl Simulator {
     // Energy charging (exact segment boundaries, applied at txn end).
 
     fn ensure_idle(&mut self, i: NodeId, at: SimTime) {
-        if self.nodes[i].meter.state() == RadioState::Sleep {
-            self.nodes[i].meter.set_idle(at);
+        if self.meters[i].state() == RadioState::Sleep {
+            self.meters[i].set_idle(at);
         }
     }
 
@@ -910,8 +964,8 @@ impl Simulator {
         let (rts_at, cts_at, data_at, ack_at, end_at) = plan_at(plan, start);
         // Control frames go out at each participant's own maximum (Eq 2):
         // the RTS at the sender's, the CTS/ACK at the receiver's.
-        let pu = self.cards[u].max_tx_total_power_mw();
-        let pv = self.cards[v].max_tx_total_power_mw();
+        let pu = self.card(u).max_tx_total_power_mw();
+        let pv = self.card(v).max_tx_total_power_mw();
         let class = if frame.packet.kind.is_data() {
             TrafficClass::Data
         } else {
@@ -919,13 +973,13 @@ impl Simulator {
         };
         self.ensure_idle(u, start);
         self.ensure_idle(v, start);
-        let mu = &mut self.nodes[u].meter;
+        let mu = &mut self.meters[u];
         mu.begin_tx(rts_at, pu, TrafficClass::Control);
         mu.begin_rx(cts_at, TrafficClass::Control);
         mu.begin_tx(data_at, data_power_mw, class);
         mu.begin_rx(ack_at, TrafficClass::Control);
         mu.set_idle(end_at);
-        let mv = &mut self.nodes[v].meter;
+        let mv = &mut self.meters[v];
         mv.begin_rx(rts_at, TrafficClass::Control);
         mv.begin_tx(cts_at, pv, TrafficClass::Control);
         mv.begin_rx(data_at, class);
@@ -945,13 +999,13 @@ impl Simulator {
             TrafficClass::Control
         };
         self.ensure_idle(u, txn_start);
-        let pmax = self.cards[u].max_tx_total_power_mw();
-        let mu = &mut self.nodes[u].meter;
+        let pmax = self.card(u).max_tx_total_power_mw();
+        let mu = &mut self.meters[u];
         mu.begin_tx(start, pmax, class);
         mu.set_idle(end);
         for &r in receivers {
             self.ensure_idle(r, txn_start);
-            let mr = &mut self.nodes[r].meter;
+            let mr = &mut self.meters[r];
             mr.begin_rx(start, class);
             mr.set_idle(end);
         }
@@ -961,8 +1015,8 @@ impl Simulator {
         let rts_start = txn_start + self.mac_timing.difs;
         let rts_end = rts_start + self.mac_timing.airtime(self.mac_timing.rts_bytes);
         self.ensure_idle(u, txn_start);
-        let pmax = self.cards[u].max_tx_total_power_mw();
-        let mu = &mut self.nodes[u].meter;
+        let pmax = self.card(u).max_tx_total_power_mw();
+        let mu = &mut self.meters[u];
         mu.begin_tx(rts_start, pmax, TrafficClass::Control);
         mu.set_idle(rts_end);
     }
@@ -1040,8 +1094,8 @@ impl Simulator {
         {
             return;
         }
-        if self.nodes[i].meter.state() != RadioState::Sleep {
-            self.nodes[i].meter.set_sleep(now);
+        if self.meters[i].state() != RadioState::Sleep {
+            self.meters[i].set_sleep(now);
         }
     }
 
@@ -1058,7 +1112,7 @@ impl Simulator {
             let awake_psm = (0..n)
                 .filter(|&i| {
                     self.pm[i].mode == PmMode::PowerSave
-                        && self.nodes[i].meter.state() != RadioState::Sleep
+                        && self.meters[i].state() != RadioState::Sleep
                 })
                 .count();
             let queued: usize = self.nodes.iter().map(|nd| nd.mac.queue_len()).sum();
@@ -1104,14 +1158,11 @@ impl Simulator {
                             self.m.atim_tx += 1;
                             self.ensure_idle(u, start);
                             self.ensure_idle(v, start);
-                            self.nodes[u].meter.begin_tx(
-                                start,
-                                self.cards[u].max_tx_total_power_mw(),
-                                TrafficClass::Control,
-                            );
-                            self.nodes[u].meter.set_idle(end);
-                            self.nodes[v].meter.begin_rx(start, TrafficClass::Control);
-                            self.nodes[v].meter.set_idle(end);
+                            let pmax = self.card(u).max_tx_total_power_mw();
+                            self.meters[u].begin_tx(start, pmax, TrafficClass::Control);
+                            self.meters[u].set_idle(end);
+                            self.meters[v].begin_rx(start, TrafficClass::Control);
+                            self.meters[v].set_idle(end);
                             self.atim_cursor[u] = end;
                             self.atim_cursor[v] = end;
                         }

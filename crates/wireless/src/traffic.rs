@@ -118,6 +118,14 @@ impl FlowSpec {
         self
     }
 
+    /// Overrides the paper's [20 s, 25 s] start window — the scale
+    /// presets start traffic almost immediately so short horizons still
+    /// move data.
+    pub fn with_start_window(mut self, from_s: f64, to_s: f64) -> FlowSpec {
+        self.start_window = (from_s, to_s);
+        self
+    }
+
     /// Replaces the arrival process, keeping everything else.
     pub fn with_model(mut self, model: TrafficModel) -> FlowSpec {
         self.model = model;

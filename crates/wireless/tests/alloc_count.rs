@@ -60,6 +60,36 @@ fn steady_state_run_stays_inside_its_allocation_budget() {
 }
 
 #[test]
+fn mobility1k_run_stays_inside_its_allocation_budget() {
+    // The scale family's smallest member: 1,024 nodes on the timing-wheel
+    // queue backend with SoA hot state. Construction (~5k allocations,
+    // scaling with n) is excluded; the measured run count is ~53k —
+    // unlike the static small-network runs above this workload floods
+    // ~25k RREQ rebroadcasts whose accumulated source-route paths are
+    // cloned per hop, which is inherent to DSR, not event-loop churn.
+    // The ceiling pins that: the run schedules ~140k events, takes 20k
+    // node-ticks and charges ~500k broadcast receptions, so one stray
+    // allocation per event (+140k), per node-tick (+20k) or per
+    // reception (+500k) blows straight through it.
+    let scenario = presets::mobility1k(stacks::titan_pc(), 1);
+    let warm = Simulator::new(&scenario).run();
+    assert!(warm.data_sent > 0);
+
+    let sim = Simulator::new(&scenario);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let (m, stats) = sim.run_with_stats();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(stats.is_wheel_backend, "1k nodes must select the timing wheel");
+    assert!(m.data_sent > 0, "run must carry traffic");
+    eprintln!("ALLOC_COUNT[mobility1k]={allocs}");
+
+    assert!(
+        allocs < 80_000,
+        "mobility1k run allocated {allocs} times — per-event allocation churn came back at scale?"
+    );
+}
+
+#[test]
 fn stochastic_traffic_models_add_no_per_packet_allocations() {
     // Poisson/on-off gaps are drawn in place from each flow's own RNG
     // stream: the only extra heap traffic a non-CBR run may add over CBR

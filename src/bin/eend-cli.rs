@@ -743,6 +743,7 @@ struct BenchOpts {
     runs: u64,
     workers: Option<usize>,
     nodes: Vec<usize>,
+    scale: Vec<usize>,
     json: bool,
     check: Option<String>,
     tolerance: f64,
@@ -751,20 +752,52 @@ struct BenchOpts {
 fn bench_usage() -> ! {
     eprintln!(
         "usage: eend-cli bench [--runs N] [--workers W] [--nodes 50,100,200]\n\
-         \u{20}                     [--json] [--check BENCH_FILE] [--tolerance 0.30]"
+         \u{20}                     [--scale 1k,10k,100k] [--json] [--check BENCH_FILE]\n\
+         \u{20}                     [--tolerance 0.30]\n\
+         \u{20}  --scale runs the mobility_scale grid presets (1k/10k/100k, or a\n\
+         \u{20}  bare grid side length); passing it alone skips the default --nodes set"
     );
     std::process::exit(2)
+}
+
+/// Parses a `--scale` list entry to a grid side length: the named sizes
+/// `1k`/`10k`/`100k`, or a bare side (e.g. `64` for a 64×64 grid).
+fn parse_scale_list(raw: &str) -> Vec<usize> {
+    raw.split(',')
+        .map(|tok| match tok.trim() {
+            "1k" => 32,
+            "10k" => 100,
+            "100k" => 316,
+            other => other.parse().unwrap_or_else(|_| {
+                eprintln!("error: --scale entry {other:?} is not 1k/10k/100k or a grid side");
+                bench_usage()
+            }),
+        })
+        .collect()
+}
+
+/// The preset name `mobility_scale(side)` runs under — the named family
+/// members for the three blessed sides, a generic name otherwise.
+fn scale_preset_name(side: usize) -> String {
+    match side {
+        32 => "mobility1k".to_owned(),
+        100 => "mobility10k".to_owned(),
+        316 => "mobility100k".to_owned(),
+        other => format!("mobility_grid{other}"),
+    }
 }
 
 fn parse_bench(args: impl Iterator<Item = String>) -> BenchOpts {
     let mut o = BenchOpts {
         runs: 3,
         workers: None,
-        nodes: vec![50, 100, 200],
+        nodes: Vec::new(),
+        scale: Vec::new(),
         json: false,
         check: None,
         tolerance: 0.30,
     };
+    let mut nodes_given = false;
     let mut args = args.peekable();
     while let Some(a) = args.next() {
         let mut val = |what: &str| {
@@ -778,7 +811,11 @@ fn parse_bench(args: impl Iterator<Item = String>) -> BenchOpts {
             "--workers" => {
                 o.workers = Some(val("--workers").parse().unwrap_or_else(|_| bench_usage()))
             }
-            "--nodes" => o.nodes = parse_list("--nodes", &val("--nodes"), bench_usage),
+            "--nodes" => {
+                o.nodes = parse_list("--nodes", &val("--nodes"), bench_usage);
+                nodes_given = true;
+            }
+            "--scale" => o.scale = parse_scale_list(&val("--scale")),
             "--json" => o.json = true,
             "--check" => o.check = Some(val("--check")),
             "--tolerance" => {
@@ -791,7 +828,12 @@ fn parse_bench(args: impl Iterator<Item = String>) -> BenchOpts {
             }
         }
     }
-    if o.runs == 0 || o.nodes.is_empty() {
+    // The default preset set applies only when neither axis was chosen:
+    // `--scale` alone should not drag the 50/100/200 sweep along.
+    if !nodes_given && o.scale.is_empty() {
+        o.nodes = vec![50, 100, 200];
+    }
+    if o.runs == 0 || (o.nodes.is_empty() && o.scale.is_empty()) {
         bench_usage()
     }
     if !(0.0..1.0).contains(&o.tolerance) {
@@ -826,24 +868,46 @@ struct PresetResult {
     events_per_sec: f64,
     events_total: u64,
     delivery_mean: f64,
+    /// `VmHWM` sampled at this preset's boundary, i.e. the process-wide
+    /// high-water mark *after* this preset ran. The first preset whose
+    /// value jumps is the one that set the peak; a single end-of-process
+    /// reading cannot attribute it.
+    peak_rss_kb: u64,
 }
 
 fn run_bench(o: BenchOpts) {
     let executor = o.workers.map(Executor::with_workers).unwrap_or_else(Executor::bounded);
+    // (name, node count, per-seed scenario constructor) for both preset
+    // families: the mobility_bench density sweep and the fixed-traffic
+    // mobility_scale grids.
+    type Ctor = Box<dyn Fn(u64) -> eend::wireless::Scenario>;
+    let mut specs: Vec<(String, usize, Ctor)> = Vec::new();
+    for &n in &o.nodes {
+        specs.push((
+            format!("mobility{n}"),
+            n,
+            Box::new(move |seed| presets::mobility_bench(stacks::titan_pc(), n, seed)),
+        ));
+    }
+    for &side in &o.scale {
+        specs.push((
+            scale_preset_name(side),
+            side * side,
+            Box::new(move |seed| presets::mobility_scale(stacks::titan_pc(), side, seed)),
+        ));
+    }
     eprintln!(
         "bench: {} preset(s) x {} run(s) on {} worker(s)",
-        o.nodes.len(),
+        specs.len(),
         o.runs,
         executor.workers()
     );
     let mut results = Vec::new();
-    for &n in &o.nodes {
+    for (name, nodes, ctor) in specs {
         // One deterministic scenario per seed; the executor is the same
         // bounded pool campaigns run on, so `--workers` measures the
         // parallel path end to end.
-        let scenarios: Vec<_> = (1..=o.runs)
-            .map(|seed| presets::mobility_bench(stacks::titan_pc(), n, seed))
-            .collect();
+        let scenarios: Vec<_> = (1..=o.runs).map(&ctor).collect();
         let start = std::time::Instant::now();
         let outcomes = executor.par_map(scenarios.len(), |i| {
             Simulator::new(&scenarios[i]).run_with_stats()
@@ -853,14 +917,15 @@ fn run_bench(o: BenchOpts) {
         let delivery_mean = outcomes.iter().map(|(m, _)| m.delivery_ratio()).sum::<f64>()
             / outcomes.len() as f64;
         results.push(PresetResult {
-            name: format!("mobility{n}"),
-            nodes: n,
+            name,
+            nodes,
             runs: o.runs,
             wall_s,
             runs_per_sec: o.runs as f64 / wall_s,
             events_per_sec: events_total as f64 / wall_s,
             events_total,
             delivery_mean,
+            peak_rss_kb: peak_rss_kb(),
         });
     }
 
@@ -875,7 +940,7 @@ fn run_bench(o: BenchOpts) {
             println!(
                 "    {{\"name\": \"{}\", \"nodes\": {}, \"runs\": {}, \"wall_s\": {:.4}, \
                  \"runs_per_sec\": {:.2}, \"events_per_sec\": {:.0}, \"events_total\": {}, \
-                 \"delivery_mean\": {:.4}}}{}",
+                 \"delivery_mean\": {:.4}, \"peak_rss_kb\": {}}}{}",
                 r.name,
                 r.nodes,
                 r.runs,
@@ -884,6 +949,7 @@ fn run_bench(o: BenchOpts) {
                 r.events_per_sec,
                 r.events_total,
                 r.delivery_mean,
+                r.peak_rss_kb,
                 if i + 1 < results.len() { "," } else { "" }
             );
         }
@@ -892,8 +958,10 @@ fn run_bench(o: BenchOpts) {
     } else {
         for r in &results {
             println!(
-                "{:12} {:>7.2} runs/s  {:>12.0} events/s  ({} runs in {:.3} s, delivery {:.3})",
-                r.name, r.runs_per_sec, r.events_per_sec, r.runs, r.wall_s, r.delivery_mean
+                "{:12} {:>7.2} runs/s  {:>12.0} events/s  ({} runs in {:.3} s, delivery {:.3}, \
+                 rss {} kB)",
+                r.name, r.runs_per_sec, r.events_per_sec, r.runs, r.wall_s, r.delivery_mean,
+                r.peak_rss_kb
             );
         }
         println!("peak RSS: {} kB", peak_rss_kb());
@@ -941,9 +1009,17 @@ fn check_against_record(path: &str, results: &[PresetResult], tolerance: f64) {
         std::process::exit(2)
     }
     let mut failed = false;
+    let mut gated = 0usize;
+    let mut skipped = 0usize;
     for r in results {
+        // A preset missing from the record is tolerated individually —
+        // it was added since the record was written, so there is nothing
+        // to compare against yet. The presets the record does know are
+        // still gated; the gate only goes vacuous when *every* preset is
+        // new, which the summary line below makes visible.
         let Some((_, rate)) = recorded.iter().find(|(n, _)| *n == r.name) else {
-            eprintln!("check: {:12} not in record — skipped", r.name);
+            eprintln!("check: {:12} not in record — new preset, gated from the next record on", r.name);
+            skipped += 1;
             continue;
         };
         let floor = rate * (1.0 - tolerance);
@@ -956,8 +1032,10 @@ fn check_against_record(path: &str, results: &[PresetResult], tolerance: f64) {
             floor,
             if ok { "ok" } else { "REGRESSION" }
         );
+        gated += 1;
         failed |= !ok;
     }
+    eprintln!("check: {gated} preset(s) gated, {skipped} absent from the record");
     if failed {
         eprintln!("check: throughput regressed more than {:.0}%", tolerance * 100.0);
         std::process::exit(1)
