@@ -25,10 +25,16 @@
 //! 4. [`ResultStore`] makes a campaign durable and resumable: records
 //!    append to fingerprinted JSONL shard stores, re-runs skip completed
 //!    jobs, and [`CampaignSpec::shard`] + [`merge_stores`] spread one
-//!    grid across machines and reassemble the byte-identical result.
+//!    grid across machines and reassemble the byte-identical result —
+//!    [`merge_stores_streaming`] does the same merge record-by-record
+//!    into any sink, so grids larger than RAM still reassemble;
+//! 5. [`serve`] runs all of that as a long-lived daemon: specs arrive
+//!    over a line-oriented HTTP/JSONL protocol, land in fingerprinted
+//!    stores, and identical re-submissions answer from cache.
 //!
-//! The `eend-bench` figure binaries and the `eend-cli campaign`
-//! subcommand are thin layers over this crate.
+//! The `eend-bench` figure binaries, the `eend-cli campaign`
+//! subcommand, and the `eend-serve` daemon are thin layers over this
+//! crate.
 //!
 //! # Example
 //!
@@ -52,12 +58,16 @@
 
 pub mod executor;
 pub mod report;
+pub mod serve;
 pub mod sink;
 pub mod spec;
 pub mod store;
 
 pub use executor::Executor;
 pub use report::{metric_columns, CampaignResult, MetricColumn, Record};
+pub use serve::{ServeConfig, ServerHandle};
 pub use sink::{CsvSink, FanoutSink, JsonlSink, MemorySink, RecordSink};
 pub use spec::{BaseScenario, CampaignSpec, FailurePlan, GridPoint, Job};
-pub use store::{fingerprint, merge_stores, Manifest, ResultStore, SpecAxes};
+pub use store::{
+    fingerprint, merge_stores, merge_stores_streaming, Manifest, ResultStore, SpecAxes,
+};

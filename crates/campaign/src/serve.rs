@@ -1,0 +1,714 @@
+//! `eend-serve`: campaigns as a long-lived service.
+//!
+//! A daemon built from std building blocks only (`TcpListener` plus a
+//! thread per connection — the workspace is offline, so no async
+//! runtime): clients submit [`CampaignSpec`]s over a line-oriented
+//! HTTP/JSONL protocol, the daemon schedules the jobs on the bounded
+//! [`Executor`], persists every record into a fingerprinted
+//! [`ResultStore`] under its data directory, and answers a re-submitted
+//! spec **from cache** by fingerprint instead of re-simulating.
+//!
+//! # Protocol
+//!
+//! One request per connection (`Connection: close`); bodies and record
+//! streams are plain JSON/JSONL/CSV text.
+//!
+//! | Request | Body / query | Response |
+//! |---|---|---|
+//! | `POST /submit` | `{"campaign": name, "axes": {…}}` — the axes use the exact [`SpecAxes::to_json`] schema stored in store manifests | `{"fingerprint","total","done","cached","state"}` |
+//! | `GET /status/<fp>` | — | `{"fingerprint","total","done","state","error","executed"}` |
+//! | `GET /stream/<fp>` | `?from=N&format=jsonl\|csv` | one record per line as jobs complete, resuming from the store at record `N` (reconnects pick up where they left off) |
+//! | `GET /aggregate/<fp>` | — | one JSONL cell per (metric, stack, x): `{"metric","stack","x","n","mean","ci95"}` |
+//! | `GET /` | — | health probe (`eend-serve`) |
+//!
+//! `<fp>` is the 16-hex-digit campaign fingerprint returned by submit.
+//!
+//! # Cache and resume semantics
+//!
+//! A submitted spec is expanded and [fingerprinted](fingerprint) exactly
+//! like `eend-cli campaign --out`; its store lives at
+//! `<data_dir>/<fingerprint>`. Identical re-submissions map to the same
+//! store, so completed jobs are never re-run — a warm submit answers
+//! `"cached":true` without executing a single simulation. A daemon
+//! restarted over an existing data directory resumes partial campaigns
+//! from their durable records (the kill-resume path the store was built
+//! for), and status/stream/aggregate requests for fingerprints not seen
+//! since the restart rehydrate the campaign from the store's manifest
+//! axes.
+//!
+//! Record lines streamed by `/stream` are rendered through the same row
+//! writers as `eend-cli campaign --csv` / the JSONL sink, and
+//! `/aggregate` drives [`merge_stores_streaming`] into per-metric
+//! [`StreamingAggregator`]s — both byte-identical to the offline CLI
+//! path, pinned by integration tests.
+
+use crate::executor::Executor;
+use crate::report::{csv_header_into, csv_row_into, json_num, json_row_into, json_str, Record};
+use crate::spec::{CampaignSpec, GridPoint, Job};
+use crate::store::{
+    fingerprint, merge_stores_streaming, metrics_from_json, parse_json, verify_line_identity,
+    Manifest, ResultStore, SpecAxes, RECORDS_FILE,
+};
+use crate::RecordSink;
+use eend_stats::grouped::StreamingAggregator;
+use eend_wireless::RunMetrics;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+fn bad_req(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Configuration of a [`serve`] instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory holding one fingerprinted [`ResultStore`] per
+    /// campaign (created if missing).
+    pub data_dir: PathBuf,
+    /// The executor campaigns run on. Campaigns run one at a time, in
+    /// submission order; within a campaign, jobs run on this pool.
+    pub executor: Executor,
+}
+
+/// The campaign run-state machine: `Idle` both before the first submit
+/// queues a campaign and after a run finishes (completely or not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    Idle,
+}
+
+/// Mutable progress of one campaign, guarded by its entry's mutex.
+struct Progress {
+    /// Jobs with durable records. Records are written in job order, so
+    /// this is also the id of the next record a subscriber can tail.
+    done: usize,
+    phase: Phase,
+    /// The last run's failure, if it ended early.
+    error: Option<String>,
+}
+
+/// One registered campaign: the immutable expansion plus run progress.
+struct CampaignEntry {
+    spec: CampaignSpec,
+    jobs: Vec<Job>,
+    fingerprint: u64,
+    dir: PathBuf,
+    progress: Mutex<Progress>,
+    /// Notified on every completed record and phase change, so
+    /// streaming subscribers wake the moment a record is tailable.
+    cv: Condvar,
+}
+
+impl CampaignEntry {
+    fn set_phase(&self, phase: Phase, error: Option<String>) {
+        let mut p = self.progress.lock().expect("progress lock poisoned");
+        p.phase = phase;
+        if error.is_some() {
+            p.error = error;
+        }
+        drop(p);
+        self.cv.notify_all();
+    }
+}
+
+/// Shared daemon state: the campaign registry plus the run queue.
+struct ServeState {
+    data_dir: PathBuf,
+    executor: Executor,
+    shutdown: AtomicBool,
+    /// Simulation jobs actually executed since the daemon started —
+    /// cache hits leave it untouched, which the cache tests assert.
+    jobs_executed: AtomicUsize,
+    campaigns: Mutex<BTreeMap<u64, Arc<CampaignEntry>>>,
+    /// Sender side of the run queue; taken (closed) on shutdown so the
+    /// runner thread drains and exits.
+    queue: Mutex<Option<mpsc::Sender<Arc<CampaignEntry>>>>,
+}
+
+/// A handle on a running daemon, returned by [`serve`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept_thread: Option<JoinHandle<()>>,
+    runner_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Simulation jobs executed since startup. Answering a submit,
+    /// stream, or aggregate from cache does not move this counter.
+    pub fn jobs_executed(&self) -> usize {
+        self.state.jobs_executed.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, for a daemon
+    /// killed externally) — the `eend-serve` binary's main thread.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.runner_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops the daemon: no new connections, the run queue closes (a
+    /// campaign mid-run finishes its in-flight jobs durably and stops),
+    /// and both service threads are joined.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.lock().expect("queue lock poisoned").take();
+        // Wake every waiting subscriber so they see the flag and drain.
+        for entry in self.state.campaigns.lock().expect("registry lock poisoned").values() {
+            entry.cv.notify_all();
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.runner_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 for an ephemeral port)
+/// and starts the daemon: an accept loop spawning one thread per
+/// connection, plus a single runner thread draining the campaign queue
+/// on the configured executor. Returns as soon as the listener is live.
+pub fn serve(addr: &str, config: ServeConfig) -> io::Result<ServerHandle> {
+    std::fs::create_dir_all(&config.data_dir)?;
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let (tx, rx) = mpsc::channel::<Arc<CampaignEntry>>();
+    let state = Arc::new(ServeState {
+        data_dir: config.data_dir,
+        executor: config.executor,
+        shutdown: AtomicBool::new(false),
+        jobs_executed: AtomicUsize::new(0),
+        campaigns: Mutex::new(BTreeMap::new()),
+        queue: Mutex::new(Some(tx)),
+    });
+    let runner_state = Arc::clone(&state);
+    let runner_thread = thread::Builder::new()
+        .name("eend-serve-runner".into())
+        .spawn(move || runner_loop(&runner_state, rx))?;
+    let accept_state = Arc::clone(&state);
+    let accept_thread = thread::Builder::new()
+        .name("eend-serve-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_state))?;
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept_thread: Some(accept_thread),
+        runner_thread: Some(runner_thread),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Runner: one campaign at a time, jobs on the bounded executor.
+
+fn runner_loop(state: &ServeState, rx: mpsc::Receiver<Arc<CampaignEntry>>) {
+    while let Ok(entry) = rx.recv() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            entry.set_phase(Phase::Idle, None);
+            continue;
+        }
+        entry.set_phase(Phase::Running, None);
+        let result = ResultStore::open(&entry.dir, Manifest::for_spec(&entry.spec, 0, 1))
+            .and_then(|mut store| {
+                store.run_observed(&state.executor, &entry.jobs, None, |id| {
+                    state.jobs_executed.fetch_add(1, Ordering::SeqCst);
+                    let mut p = entry.progress.lock().expect("progress lock poisoned");
+                    // Records land in job order; id + 1 is the tailable
+                    // prefix length.
+                    p.done = p.done.max(id + 1);
+                    drop(p);
+                    entry.cv.notify_all();
+                })
+            });
+        entry.set_phase(Phase::Idle, result.err().map(|e| e.to_string()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign registry.
+
+/// Registers `spec` (idempotently, by fingerprint), opening — and
+/// thereby resuming — its store under the data directory.
+fn register(state: &ServeState, spec: CampaignSpec) -> io::Result<Arc<CampaignEntry>> {
+    let jobs = spec.expand();
+    let fp = fingerprint(&spec.name, &jobs);
+    let mut map = state.campaigns.lock().expect("registry lock poisoned");
+    if let Some(e) = map.get(&fp) {
+        return Ok(Arc::clone(e));
+    }
+    let dir = state.data_dir.join(format!("{fp:016x}"));
+    let store = ResultStore::open(&dir, Manifest::for_spec(&spec, 0, 1))?;
+    let done = store.completed().len();
+    let entry = Arc::new(CampaignEntry {
+        spec,
+        jobs,
+        fingerprint: fp,
+        dir,
+        progress: Mutex::new(Progress { done, phase: Phase::Idle, error: None }),
+        cv: Condvar::new(),
+    });
+    map.insert(fp, Arc::clone(&entry));
+    Ok(entry)
+}
+
+/// Looks a fingerprint up in the registry, falling back to rehydrating
+/// the campaign from an on-disk store's manifest axes (the
+/// daemon-restarted-over-existing-data case).
+fn find_campaign(state: &ServeState, fp: u64) -> io::Result<Option<Arc<CampaignEntry>>> {
+    if let Some(e) = state.campaigns.lock().expect("registry lock poisoned").get(&fp) {
+        return Ok(Some(Arc::clone(e)));
+    }
+    let dir = state.data_dir.join(format!("{fp:016x}"));
+    if !dir.join("manifest.json").exists() {
+        return Ok(None);
+    }
+    let store = ResultStore::open_existing(&dir)?;
+    let manifest = store.manifest().clone();
+    drop(store);
+    let Some(axes) = manifest.axes else {
+        return Err(bad_req(format!(
+            "store {} records no spec axes; its campaign cannot be rehydrated",
+            dir.display()
+        )));
+    };
+    let entry = register(state, axes.to_spec(&manifest.campaign)?)?;
+    if entry.fingerprint != fp {
+        return Err(bad_req(format!(
+            "store {} rebuilds to fingerprint {:016x}, not {fp:016x}",
+            dir.display(),
+            entry.fingerprint
+        )));
+    }
+    Ok(Some(entry))
+}
+
+/// Queues the campaign for execution if it has missing jobs and is not
+/// already queued or running. Returns a progress snapshot.
+fn maybe_enqueue(state: &ServeState, entry: &Arc<CampaignEntry>) -> (usize, Phase) {
+    let mut p = entry.progress.lock().expect("progress lock poisoned");
+    if p.phase == Phase::Idle && p.done < entry.jobs.len() {
+        if let Some(tx) = state.queue.lock().expect("queue lock poisoned").as_ref() {
+            if tx.send(Arc::clone(entry)).is_ok() {
+                p.phase = Phase::Queued;
+                p.error = None;
+            }
+        }
+    }
+    (p.done, p.phase)
+}
+
+// ---------------------------------------------------------------------
+// HTTP plumbing (the minimal subset the protocol needs).
+
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: String,
+}
+
+impl Request {
+    fn query_get(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_request(stream: &TcpStream) -> io::Result<Request> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad_req("empty request line"))?.to_owned();
+    let target = parts.next().ok_or_else(|| bad_req("request line lacks a target"))?.to_owned();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad_req(format!("bad Content-Length {:?}", v.trim())))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad_req("request body is not UTF-8"))?;
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_owned(), v.to_owned()),
+            None => (kv.to_owned(), String::new()),
+        })
+        .collect();
+    Ok(Request { method, path, query, body })
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "200 OK",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        409 => "409 Conflict",
+        _ => "500 Internal Server Error",
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, ctype: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(code),
+        ctype,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Starts a close-delimited streaming response (no Content-Length; the
+/// body ends when the daemon closes the connection).
+fn respond_stream_head(stream: &mut TcpStream, ctype: &str) -> io::Result<()> {
+    let head =
+        format!("HTTP/1.1 200 OK\r\nContent-Type: {ctype}\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>) {
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let state = Arc::clone(state);
+        let _ = thread::Builder::new().name("eend-serve-conn".into()).spawn(move || {
+            let _ = handle_connection(stream, &state);
+        });
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServeState) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let req = match read_request(&stream) {
+        Ok(r) => r,
+        Err(e) => return respond(&mut stream, 400, "text/plain", &format!("bad request: {e}\n")),
+    };
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => respond(&mut stream, 200, "text/plain", "eend-serve\n"),
+        ("POST", ["submit"]) => match submit_impl(state, &req.body) {
+            Ok(json) => respond(&mut stream, 200, "application/json", &json),
+            Err(e) => respond(&mut stream, 400, "text/plain", &format!("error: {e}\n")),
+        },
+        ("GET", ["status", fp_hex]) => with_campaign(state, fp_hex, &mut stream, |entry, s| {
+            let (done, phase, error) = {
+                let p = entry.progress.lock().expect("progress lock poisoned");
+                (p.done, p.phase, p.error.clone())
+            };
+            let json = format!(
+                "{{\"fingerprint\":\"{:016x}\",\"total\":{},\"done\":{done},\
+                 \"state\":{},\"error\":{},\"executed\":{}}}\n",
+                entry.fingerprint,
+                entry.jobs.len(),
+                json_str(state_name(done, entry.jobs.len(), phase)),
+                error.as_deref().map(json_str).unwrap_or_else(|| "null".to_owned()),
+                state.jobs_executed.load(Ordering::SeqCst)
+            );
+            respond(s, 200, "application/json", &json)
+        }),
+        ("GET", ["stream", fp_hex]) => {
+            let from = match req.query_get("from").map(str::parse::<usize>) {
+                None => 0,
+                Some(Ok(v)) => v,
+                Some(Err(_)) => {
+                    return respond(&mut stream, 400, "text/plain", "error: bad from=\n")
+                }
+            };
+            let csv = match req.query_get("format") {
+                None | Some("jsonl") => false,
+                Some("csv") => true,
+                Some(other) => {
+                    return respond(
+                        &mut stream,
+                        400,
+                        "text/plain",
+                        &format!("error: unknown format {other:?}\n"),
+                    )
+                }
+            };
+            with_campaign(state, fp_hex, &mut stream, |entry, s| {
+                stream_records(state, &entry, from, csv, s)
+            })
+        }
+        ("GET", ["aggregate", fp_hex]) => with_campaign(state, fp_hex, &mut stream, |entry, s| {
+            match aggregate_impl(&entry) {
+                Ok(body) => respond(s, 200, "application/x-ndjson", &body),
+                Err(e) => respond(s, 409, "text/plain", &format!("error: {e}\n")),
+            }
+        }),
+        _ => respond(&mut stream, 404, "text/plain", "no such endpoint\n"),
+    }
+}
+
+/// Resolves `<fp>` path segments, mapping parse failures and unknown
+/// fingerprints to 400/404 before `f` runs.
+fn with_campaign(
+    state: &ServeState,
+    fp_hex: &str,
+    stream: &mut TcpStream,
+    f: impl FnOnce(Arc<CampaignEntry>, &mut TcpStream) -> io::Result<()>,
+) -> io::Result<()> {
+    let Ok(fp) = u64::from_str_radix(fp_hex, 16) else {
+        return respond(stream, 400, "text/plain", &format!("error: bad fingerprint {fp_hex:?}\n"));
+    };
+    match find_campaign(state, fp) {
+        Ok(Some(entry)) => f(entry, stream),
+        Ok(None) => respond(
+            stream,
+            404,
+            "text/plain",
+            &format!("error: no campaign with fingerprint {fp:016x}\n"),
+        ),
+        Err(e) => respond(stream, 400, "text/plain", &format!("error: {e}\n")),
+    }
+}
+
+fn state_name(done: usize, total: usize, phase: Phase) -> &'static str {
+    if done >= total {
+        return "done";
+    }
+    match phase {
+        Phase::Queued => "queued",
+        Phase::Running => "running",
+        Phase::Idle => "partial",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Endpoints.
+
+fn submit_impl(state: &ServeState, body: &str) -> io::Result<String> {
+    let v = parse_json(body)?;
+    let campaign = v.get("campaign")?.str()?;
+    if campaign.is_empty() {
+        return Err(bad_req("campaign name must not be empty"));
+    }
+    let axes = SpecAxes::from_jval(v.get("axes")?)?;
+    let spec = axes.to_spec(campaign)?;
+    if spec.job_count() == 0 {
+        return Err(bad_req("spec expands to zero jobs (no stacks?)"));
+    }
+    let entry = register(state, spec)?;
+    let (done, phase) = maybe_enqueue(state, &entry);
+    let total = entry.jobs.len();
+    Ok(format!(
+        "{{\"fingerprint\":\"{:016x}\",\"total\":{total},\"done\":{done},\
+         \"cached\":{},\"state\":{}}}\n",
+        entry.fingerprint,
+        done >= total,
+        json_str(state_name(done, total, phase))
+    ))
+}
+
+/// Streams records `from..total` as they become durable, tailing the
+/// campaign's `records.jsonl`. Because the store flushes each record
+/// *before* publishing its id to `Progress::done`, every line this
+/// reader is allowed to reach is complete on disk. If the campaign
+/// stops (error or shutdown) before all jobs are durable, the body ends
+/// early at the last durable record — a reconnect with `?from=` picks
+/// up exactly there.
+fn stream_records(
+    state: &ServeState,
+    entry: &CampaignEntry,
+    from: usize,
+    csv: bool,
+    stream: &mut TcpStream,
+) -> io::Result<()> {
+    respond_stream_head(stream, if csv { "text/csv" } else { "application/x-ndjson" })?;
+    let mut row = String::new();
+    if csv && from == 0 {
+        csv_header_into(&mut row);
+        stream.write_all(row.as_bytes())?;
+        stream.flush()?;
+    }
+    let mut reader: Option<BufReader<File>> = None;
+    let mut line = String::new();
+    for i in from..entry.jobs.len() {
+        // Wait until record i is durable (or the campaign goes idle
+        // short of it, which ends the stream early).
+        {
+            let mut p = entry.progress.lock().expect("progress lock poisoned");
+            loop {
+                if p.done > i {
+                    break;
+                }
+                if p.phase == Phase::Idle || state.shutdown.load(Ordering::SeqCst) {
+                    return stream.flush();
+                }
+                let (guard, _) = entry
+                    .cv
+                    .wait_timeout(p, Duration::from_millis(200))
+                    .expect("progress lock poisoned");
+                p = guard;
+            }
+        }
+        let reader = match reader.as_mut() {
+            Some(r) => r,
+            None => {
+                reader = Some(BufReader::new(File::open(entry.dir.join(RECORDS_FILE))?));
+                reader.as_mut().expect("just set")
+            }
+        };
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::other(format!(
+                    "record {i} is marked durable but {} ended early",
+                    entry.dir.join(RECORDS_FILE).display()
+                )));
+            }
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let v = parse_json(text)?;
+            let id = v.get("job")?.usize()?;
+            if id < i {
+                continue; // skipping the prefix a ?from= reconnect already has
+            }
+            if id != i {
+                return Err(io::Error::other(format!(
+                    "records out of order: wanted job {i}, found job {id}"
+                )));
+            }
+            let job = &entry.jobs[id];
+            verify_line_identity(&v, job)?;
+            let metrics = metrics_from_json(v.get("metrics")?)?;
+            let record = Record { point: job.point.clone(), metrics };
+            row.clear();
+            if csv {
+                csv_row_into(&mut row, &entry.spec.name, &record);
+            } else {
+                json_row_into(&mut row, &entry.spec.name, &record);
+                row.push('\n');
+            }
+            stream.write_all(row.as_bytes())?;
+            stream.flush()?;
+            break;
+        }
+    }
+    stream.flush()
+}
+
+/// One aggregate column: metric name, extractor, running cells.
+type AggCol = (&'static str, fn(&RunMetrics) -> f64, StreamingAggregator);
+
+/// A sink feeding one [`StreamingAggregator`] per exported metric — the
+/// aggregate endpoint holds per-cell scalar samples, never the records.
+struct AggSink {
+    x: fn(&GridPoint) -> f64,
+    cols: Vec<AggCol>,
+}
+
+impl RecordSink for AggSink {
+    fn accept(&mut self, record: &Record) -> io::Result<()> {
+        let x = (self.x)(&record.point);
+        for (_, f, agg) in &mut self.cols {
+            agg.push(&record.point.stack.name, x, f(&record.metrics));
+        }
+        Ok(())
+    }
+}
+
+/// Picks the aggregate x axis the way the CLI's summary view does:
+/// node count when the node axis is swept, speed when the speed axis
+/// is, per-flow rate otherwise.
+fn aggregate_x_axis(spec: &CampaignSpec) -> fn(&GridPoint) -> f64 {
+    if spec.node_counts.len() > 1 || spec.base == crate::BaseScenario::Density {
+        |p| p.nodes as f64
+    } else if spec.speeds_mps.len() > 1 {
+        |p| p.speed_mps
+    } else {
+        |p| p.rate_kbps
+    }
+}
+
+fn aggregate_impl(entry: &CampaignEntry) -> io::Result<String> {
+    {
+        let p = entry.progress.lock().expect("progress lock poisoned");
+        if p.done < entry.jobs.len() {
+            return Err(bad_req(format!(
+                "campaign incomplete ({}/{} jobs durable) — submit it and poll status to done",
+                p.done,
+                entry.jobs.len()
+            )));
+        }
+    }
+    let store = ResultStore::open_existing(&entry.dir)?;
+    let mut sink = AggSink {
+        x: aggregate_x_axis(&entry.spec),
+        cols: crate::report::metric_columns()
+            .into_iter()
+            .map(|(name, f)| (name, f, StreamingAggregator::new()))
+            .collect(),
+    };
+    merge_stores_streaming(&[&store], &entry.jobs, &mut sink)?;
+    // Restore spec stack order, exactly like CampaignResult::series.
+    let order: Vec<&str> = entry.spec.stacks.iter().map(|s| s.name.as_str()).collect();
+    let mut out = String::new();
+    for (name, _, agg) in sink.cols {
+        let mut series = agg.finish();
+        series.sort_by_key(|s| order.iter().position(|n| *n == s.label).unwrap_or(usize::MAX));
+        for s in series {
+            for p in s.points {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":{},\"stack\":{},\"x\":{},\"n\":{},\"mean\":{},\"ci95\":{}}}",
+                    json_str(name),
+                    json_str(&s.label),
+                    json_num(p.x),
+                    p.summary.n,
+                    json_num(p.summary.mean),
+                    json_num(p.summary.ci95_half_width())
+                );
+            }
+        }
+    }
+    Ok(out)
+}

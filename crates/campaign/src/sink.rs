@@ -142,8 +142,10 @@ impl<W: Write> RecordSink for JsonlSink<W> {
 }
 
 /// Duplicates every record into several sinks (e.g. an on-disk store
-/// plus a live CSV stream). Sinks are driven in order; the first error
-/// aborts the fan-out.
+/// plus a live CSV stream). Sinks are driven in order; on `accept` the
+/// first error aborts the fan-out, but `finish` always reaches every
+/// sink — one sink's failure must not leave the others unflushed — and
+/// reports the first error afterward.
 #[derive(Default)]
 pub struct FanoutSink<'a> {
     sinks: Vec<&'a mut dyn RecordSink>,
@@ -177,10 +179,16 @@ impl RecordSink for FanoutSink<'_> {
     }
 
     fn finish(&mut self) -> io::Result<()> {
+        let mut first_err = None;
         for s in &mut self.sinks {
-            s.finish()?;
+            if let Err(e) = s.finish() {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -233,6 +241,39 @@ mod tests {
             assert!(array.contains(line), "line {i} must appear in to_json()");
         }
         assert_eq!(jsonl.lines().count(), res.records.len());
+    }
+
+    #[test]
+    fn fanout_finish_reaches_every_sink_despite_errors() {
+        struct FailingFinish;
+        impl RecordSink for FailingFinish {
+            fn accept(&mut self, _: &Record) -> std::io::Result<()> {
+                Ok(())
+            }
+            fn finish(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        struct Probe {
+            finished: bool,
+        }
+        impl RecordSink for Probe {
+            fn accept(&mut self, _: &Record) -> std::io::Result<()> {
+                Ok(())
+            }
+            fn finish(&mut self) -> std::io::Result<()> {
+                self.finished = true;
+                Ok(())
+            }
+        }
+        let mut bad = FailingFinish;
+        let mut probe = Probe { finished: false };
+        {
+            let mut fan = FanoutSink::new().push(&mut bad).push(&mut probe);
+            let err = fan.finish().unwrap_err();
+            assert_eq!(err.to_string(), "disk full", "first error is reported");
+        }
+        assert!(probe.finished, "a sink after the failing one must still be flushed");
     }
 
     #[test]

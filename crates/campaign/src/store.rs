@@ -25,7 +25,10 @@
 //! job list round-robin, each machine runs its slice into its own
 //! store, and [`merge_stores`] reassembles the shards into one result,
 //! verifying the fingerprints agree and every job is covered exactly
-//! once.
+//! once. [`merge_stores_streaming`] does the same merge straight into a
+//! [`RecordSink`], holding one record per store instead of the whole
+//! grid — the path `eend-cli campaign merge --csv` and the serve
+//! daemon's aggregate endpoint run on.
 
 use crate::executor::Executor;
 use crate::report::{json_num, json_str, CampaignResult, Record};
@@ -43,7 +46,7 @@ use std::path::{Path, PathBuf};
 /// Manifest file name inside a store directory.
 const MANIFEST_FILE: &str = "manifest.json";
 /// Record shard file name inside a store directory.
-const RECORDS_FILE: &str = "records.jsonl";
+pub(crate) const RECORDS_FILE: &str = "records.jsonl";
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -256,6 +259,116 @@ impl SpecAxes {
         }
         Ok(spec)
     }
+
+    /// Renders these axes as a JSON object — the `"axes"` value of
+    /// `manifest.json`, and the schema `eend-serve`'s submit endpoint
+    /// accepts, so a spec submitted over the wire is exactly a `--out`
+    /// campaign.
+    pub fn to_json(&self) -> String {
+        let failures = self
+            .failures
+            .iter()
+            .map(|p| {
+                let kills = p
+                    .kills
+                    .iter()
+                    .map(|&(at, node)| format!("[{},{node}]", json_num(at)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{\"label\":{},\"kills\":[{kills}]}}", json_str(&p.label))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"preset\":{},\"stacks\":[{}],\"rates\":[{}],\
+             \"node_counts\":[{}],\"speeds\":[{}],\"traffic\":[{}],\
+             \"radio\":[{}],\"failures\":[{failures}],\"seeds\":{},\
+             \"seed_base\":{},\"secs\":{}}}",
+            json_str(&self.preset),
+            self.stacks.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(","),
+            self.rates.iter().map(|r| json_num(*r)).collect::<Vec<_>>().join(","),
+            self.node_counts.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
+            self.speeds.iter().map(|v| json_num(*v)).collect::<Vec<_>>().join(","),
+            self.traffic.iter().map(|t| json_str(t)).collect::<Vec<_>>().join(","),
+            self.radio.iter().map(|r| json_str(r)).collect::<Vec<_>>().join(","),
+            self.seeds,
+            self.seed_base,
+            match self.secs {
+                Some(v) => v.to_string(),
+                None => "null".to_owned(),
+            }
+        );
+        s
+    }
+
+    /// Parses the JSON object form produced by [`SpecAxes::to_json`].
+    pub fn from_json(text: &str) -> io::Result<SpecAxes> {
+        SpecAxes::from_jval(&parse_json(text)?)
+    }
+
+    /// Parses an already-parsed axes object (shared by the manifest
+    /// reader and the serve submit endpoint).
+    pub(crate) fn from_jval(a: &JVal) -> io::Result<SpecAxes> {
+        Ok(SpecAxes {
+            preset: a.get("preset")?.str()?.to_owned(),
+            stacks: a
+                .get("stacks")?
+                .arr()?
+                .iter()
+                .map(|s| s.str().map(str::to_owned))
+                .collect::<io::Result<_>>()?,
+            rates: a.get("rates")?.arr()?.iter().map(|x| x.f64()).collect::<io::Result<_>>()?,
+            node_counts: a
+                .get("node_counts")?
+                .arr()?
+                .iter()
+                .map(|x| x.usize())
+                .collect::<io::Result<_>>()?,
+            speeds: a.get("speeds")?.arr()?.iter().map(|x| x.f64()).collect::<io::Result<_>>()?,
+            traffic: a
+                .get("traffic")?
+                .arr()?
+                .iter()
+                .map(|t| t.str().map(str::to_owned))
+                .collect::<io::Result<_>>()?,
+            radio: a
+                .get("radio")?
+                .arr()?
+                .iter()
+                .map(|r| r.str().map(str::to_owned))
+                .collect::<io::Result<_>>()?,
+            failures: a
+                .get("failures")?
+                .arr()?
+                .iter()
+                .map(|p| {
+                    Ok(FailurePlan {
+                        label: p.get("label")?.str()?.to_owned(),
+                        kills: p
+                            .get("kills")?
+                            .arr()?
+                            .iter()
+                            .map(|k| {
+                                let k = k.arr()?;
+                                if k.len() != 2 {
+                                    return Err(bad_data("kill needs [secs, node]"));
+                                }
+                                Ok((k[0].f64()?, k[1].usize()?))
+                            })
+                            .collect::<io::Result<_>>()?,
+                    })
+                })
+                .collect::<io::Result<_>>()?,
+            seeds: a.get("seeds")?.u64()?,
+            seed_base: a.get("seed_base")?.u64()?,
+            secs: match a.get("secs")? {
+                JVal::Null => None,
+                x => Some(x.u64()?),
+            },
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -310,40 +423,7 @@ impl Manifest {
         match &self.axes {
             None => s.push_str(",\"axes\":null"),
             Some(a) => {
-                let failures = a
-                    .failures
-                    .iter()
-                    .map(|p| {
-                        let kills = p
-                            .kills
-                            .iter()
-                            .map(|&(at, node)| format!("[{},{node}]", json_num(at)))
-                            .collect::<Vec<_>>()
-                            .join(",");
-                        format!("{{\"label\":{},\"kills\":[{kills}]}}", json_str(&p.label))
-                    })
-                    .collect::<Vec<_>>()
-                    .join(",");
-                let _ = write!(
-                    s,
-                    ",\"axes\":{{\"preset\":{},\"stacks\":[{}],\"rates\":[{}],\
-                     \"node_counts\":[{}],\"speeds\":[{}],\"traffic\":[{}],\
-                     \"radio\":[{}],\"failures\":[{failures}],\"seeds\":{},\
-                     \"seed_base\":{},\"secs\":{}}}",
-                    json_str(&a.preset),
-                    a.stacks.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(","),
-                    a.rates.iter().map(|r| json_num(*r)).collect::<Vec<_>>().join(","),
-                    a.node_counts.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
-                    a.speeds.iter().map(|v| json_num(*v)).collect::<Vec<_>>().join(","),
-                    a.traffic.iter().map(|t| json_str(t)).collect::<Vec<_>>().join(","),
-                    a.radio.iter().map(|r| json_str(r)).collect::<Vec<_>>().join(","),
-                    a.seeds,
-                    a.seed_base,
-                    match a.secs {
-                        Some(v) => v.to_string(),
-                        None => "null".to_owned(),
-                    }
-                );
+                let _ = write!(s, ",\"axes\":{}", a.to_json());
             }
         }
         s.push_str("}\n");
@@ -368,63 +448,7 @@ impl Manifest {
             .map_err(|_| bad_data(format!("bad fingerprint {fp_hex:?}")))?;
         let axes = match v.get("axes")? {
             JVal::Null => None,
-            a => Some(SpecAxes {
-                preset: a.get("preset")?.str()?.to_owned(),
-                stacks: a
-                    .get("stacks")?
-                    .arr()?
-                    .iter()
-                    .map(|s| s.str().map(str::to_owned))
-                    .collect::<io::Result<_>>()?,
-                rates: a.get("rates")?.arr()?.iter().map(|x| x.f64()).collect::<io::Result<_>>()?,
-                node_counts: a
-                    .get("node_counts")?
-                    .arr()?
-                    .iter()
-                    .map(|x| x.usize())
-                    .collect::<io::Result<_>>()?,
-                speeds: a.get("speeds")?.arr()?.iter().map(|x| x.f64()).collect::<io::Result<_>>()?,
-                traffic: a
-                    .get("traffic")?
-                    .arr()?
-                    .iter()
-                    .map(|t| t.str().map(str::to_owned))
-                    .collect::<io::Result<_>>()?,
-                radio: a
-                    .get("radio")?
-                    .arr()?
-                    .iter()
-                    .map(|r| r.str().map(str::to_owned))
-                    .collect::<io::Result<_>>()?,
-                failures: a
-                    .get("failures")?
-                    .arr()?
-                    .iter()
-                    .map(|p| {
-                        Ok(FailurePlan {
-                            label: p.get("label")?.str()?.to_owned(),
-                            kills: p
-                                .get("kills")?
-                                .arr()?
-                                .iter()
-                                .map(|k| {
-                                    let k = k.arr()?;
-                                    if k.len() != 2 {
-                                        return Err(bad_data("kill needs [secs, node]"));
-                                    }
-                                    Ok((k[0].f64()?, k[1].usize()?))
-                                })
-                                .collect::<io::Result<_>>()?,
-                        })
-                    })
-                    .collect::<io::Result<_>>()?,
-                seeds: a.get("seeds")?.u64()?,
-                seed_base: a.get("seed_base")?.u64()?,
-                secs: match a.get("secs")? {
-                    JVal::Null => None,
-                    x => Some(x.u64()?),
-                },
-            }),
+            a => Some(SpecAxes::from_jval(a)?),
         };
         Ok(Manifest {
             campaign: v.get("campaign")?.str()?.to_owned(),
@@ -548,7 +572,14 @@ impl ResultStore {
             let torn_tail = li + 1 == lines.len(); // no trailing '\n': torn write
             match parse_json(line).and_then(|v| v.get("job")?.usize()) {
                 Ok(id) if id < self.manifest.total_jobs => {
-                    self.completed.insert(id);
+                    if !self.completed.insert(id) {
+                        return Err(bad_data(format!(
+                            "job {id} has more than one record in {} (line {}) — the \
+                             store has been corrupted or merged with itself",
+                            path.display(),
+                            li + 1
+                        )));
+                    }
                     if torn_tail {
                         // The record is complete but the kill landed
                         // between its bytes and the newline: restore the
@@ -608,6 +639,21 @@ impl ResultStore {
         shard_jobs: &[Job],
         limit: Option<usize>,
     ) -> io::Result<usize> {
+        self.run_observed(executor, shard_jobs, limit, |_| {})
+    }
+
+    /// [`ResultStore::run`] with a completion observer: `observe(id)`
+    /// fires on the scheduling thread immediately after job `id`'s
+    /// record is durable (written and flushed), in job order. The serve
+    /// daemon uses this to wake streaming subscribers the moment a
+    /// record can be tailed from disk, without a second scan.
+    pub fn run_observed(
+        &mut self,
+        executor: &Executor,
+        shard_jobs: &[Job],
+        limit: Option<usize>,
+        mut observe: impl FnMut(usize),
+    ) -> io::Result<usize> {
         let (idx, cnt) = (self.manifest.shard_index, self.manifest.shard_count);
         for j in shard_jobs {
             if j.index % cnt != idx {
@@ -634,6 +680,7 @@ impl ResultStore {
             ids: &ids,
             cursor: 0,
             completed: &mut self.completed,
+            observe: &mut observe,
         };
         executor.run_streaming(&todo, &mut sink)?;
         Ok(ids.len())
@@ -643,6 +690,14 @@ impl ResultStore {
     /// When `verify_against` is given (the full expansion), each
     /// record's stored stack name and seed are cross-checked against the
     /// job it claims to be.
+    ///
+    /// A parse failure is tolerated only on the file's final line — the
+    /// newline-less footprint of a killed writer. Corruption anywhere
+    /// else is an error naming the line: silently skipping an interior
+    /// line would drop a completed job, and a subsequent resume would
+    /// re-run it and append a duplicate. Duplicate job ids are refused
+    /// for the same reason — last-wins would silently hide whichever
+    /// record lost.
     pub fn load_metrics(
         &self,
         verify_against: Option<&[Job]>,
@@ -652,13 +707,25 @@ impl ResultStore {
         if !path.exists() {
             return Ok(out);
         }
-        let reader = BufReader::new(File::open(&path)?);
-        for line in reader.lines() {
-            let line = line?;
+        let text = std::fs::read_to_string(&path)?;
+        let lines: Vec<&str> = text.split('\n').collect();
+        for (li, line) in lines.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let Ok(v) = parse_json(&line) else { continue }; // torn tail
+            let v = match parse_json(line) {
+                Ok(v) => v,
+                // Only the last element of split('\n') can lack a
+                // trailing newline — the torn tail of a killed writer.
+                Err(_) if li + 1 == lines.len() => continue,
+                Err(e) => {
+                    return Err(bad_data(format!(
+                        "corrupt record line {} in {}: {e}",
+                        li + 1,
+                        path.display()
+                    )))
+                }
+            };
             let id = v.get("job")?.usize()?;
             if let Some(jobs) = verify_against {
                 let job = jobs.get(id).ok_or_else(|| {
@@ -667,7 +734,13 @@ impl ResultStore {
                 verify_line_identity(&v, job)?;
             }
             let metrics = metrics_from_json(v.get("metrics")?)?;
-            out.insert(id, metrics);
+            if out.insert(id, metrics).is_some() {
+                return Err(bad_data(format!(
+                    "job {id} has more than one record in {} (line {})",
+                    path.display(),
+                    li + 1
+                )));
+            }
         }
         Ok(out)
     }
@@ -688,6 +761,7 @@ struct StoreSink<'a> {
     ids: &'a [usize],
     cursor: usize,
     completed: &'a mut BTreeSet<usize>,
+    observe: &'a mut dyn FnMut(usize),
 }
 
 impl RecordSink for StoreSink<'_> {
@@ -699,6 +773,7 @@ impl RecordSink for StoreSink<'_> {
         self.w.write_all(line.as_bytes())?;
         self.w.flush()?;
         self.completed.insert(id);
+        (self.observe)(id);
         Ok(())
     }
 
@@ -713,11 +788,40 @@ impl RecordSink for StoreSink<'_> {
 /// (the full expansion), and together they must cover every job exactly
 /// once. Each record's stored stack name and seed are cross-checked
 /// against the job list as defence in depth.
+///
+/// This is [`merge_stores_streaming`] into a [`crate::MemorySink`]; use
+/// the streaming form directly when the merged records only need to be
+/// rendered or aggregated, so the full result never materializes.
 pub fn merge_stores(stores: &[&ResultStore], jobs: &[Job]) -> io::Result<CampaignResult> {
     let first = stores.first().ok_or_else(|| bad_data("no stores to merge"))?;
     let campaign = first.manifest.campaign.clone();
+    let mut sink = crate::sink::MemorySink::new();
+    merge_stores_streaming(stores, jobs, &mut sink)?;
+    Ok(CampaignResult { campaign, records: sink.into_records() })
+}
+
+/// Streams the union of shard stores' records, in job order, into a
+/// [`RecordSink`] — the engine under [`merge_stores`], `eend-cli
+/// campaign merge --csv`, and the serve daemon's aggregate endpoint.
+/// Unlike materializing a [`CampaignResult`], at most one parsed record
+/// per store is held at a time (plus whatever the sink retains), so
+/// grids larger than RAM still merge.
+///
+/// The integrity contract of [`merge_stores`] applies: every store must
+/// carry the merged expansion's fingerprint and job count, every job
+/// must be covered exactly once across the stores, and each record's
+/// stored identity is cross-checked against the job it claims to be.
+/// The single-pass merge additionally relies on — and enforces — the
+/// order [`ResultStore::run`] writes: record ids strictly ascend within
+/// each store, so a duplicated or reordered line is refused.
+pub fn merge_stores_streaming(
+    stores: &[&ResultStore],
+    jobs: &[Job],
+    sink: &mut dyn RecordSink,
+) -> io::Result<()> {
+    let first = stores.first().ok_or_else(|| bad_data("no stores to merge"))?;
+    let campaign = first.manifest.campaign.clone();
     let fp = fingerprint(&campaign, jobs);
-    let mut metrics: BTreeMap<usize, RunMetrics> = BTreeMap::new();
     for store in stores {
         let m = &store.manifest;
         if m.fingerprint != fp || m.total_jobs != jobs.len() || m.campaign != campaign {
@@ -733,23 +837,118 @@ pub fn merge_stores(stores: &[&ResultStore], jobs: &[Job]) -> io::Result<Campaig
                 jobs.len(),
             )));
         }
-        for (id, rm) in store.load_metrics(Some(jobs))? {
-            if metrics.insert(id, rm).is_some() {
-                return Err(bad_data(format!("job {id} appears in more than one store")));
+    }
+    let mut cursors = Vec::with_capacity(stores.len());
+    for store in stores {
+        let mut c = RecordCursor::open(store)?;
+        c.advance()?;
+        cursors.push(c);
+    }
+    for job in jobs {
+        let mut found: Option<usize> = None;
+        for (ci, c) in cursors.iter().enumerate() {
+            if c.head.as_ref().map(|(id, _)| *id) == Some(job.index) {
+                if found.is_some() {
+                    return Err(bad_data(format!(
+                        "job {} appears in more than one store",
+                        job.index
+                    )));
+                }
+                found = Some(ci);
             }
         }
-    }
-    let mut records = Vec::with_capacity(jobs.len());
-    for job in jobs {
-        let rm = metrics.remove(&job.index).ok_or_else(|| {
-            bad_data(format!(
+        let Some(ci) = found else {
+            return Err(bad_data(format!(
                 "job {} ({}, seed {}) has no record in any store — campaign incomplete",
                 job.index, job.point.stack.name, job.point.seed
-            ))
-        })?;
-        records.push(Record { point: job.point.clone(), metrics: rm });
+            )));
+        };
+        let cursor = &mut cursors[ci];
+        let (_, v) = cursor.head.take().expect("head id matched above");
+        verify_line_identity(&v, job)?;
+        let metrics = metrics_from_json(v.get("metrics")?)?;
+        sink.accept(&Record { point: job.point.clone(), metrics })?;
+        cursor.advance()?;
     }
-    Ok(CampaignResult { campaign, records })
+    // Ascending order means any record the job loop never claimed is
+    // still parked at some cursor's head: an out-of-range id.
+    for c in &cursors {
+        if let Some((id, _)) = &c.head {
+            return Err(bad_data(format!(
+                "record for job {id} in {} is outside the merged expansion ({} jobs)",
+                c.path.display(),
+                jobs.len()
+            )));
+        }
+    }
+    sink.finish()
+}
+
+/// A sequential, constant-memory reader over one store's record lines:
+/// holds only the current parsed record, enforcing strictly ascending
+/// job ids (the order [`ResultStore::run`] appends). A parse failure on
+/// the final, newline-less line is the torn tail of a killed writer and
+/// reads as end-of-file; anywhere else it is an error naming the line.
+struct RecordCursor {
+    reader: Option<BufReader<File>>,
+    path: PathBuf,
+    line_no: usize,
+    last_id: Option<usize>,
+    head: Option<(usize, JVal)>,
+    buf: String,
+}
+
+impl RecordCursor {
+    fn open(store: &ResultStore) -> io::Result<RecordCursor> {
+        let path = store.dir.join(RECORDS_FILE);
+        let reader = if path.exists() { Some(BufReader::new(File::open(&path)?)) } else { None };
+        Ok(RecordCursor { reader, path, line_no: 0, last_id: None, head: None, buf: String::new() })
+    }
+
+    /// Reads the next record line into `head`, or leaves it `None` at
+    /// end-of-file (a torn final line counts as end-of-file).
+    fn advance(&mut self) -> io::Result<()> {
+        self.head = None;
+        let Some(reader) = self.reader.as_mut() else { return Ok(()) };
+        loop {
+            self.buf.clear();
+            if reader.read_line(&mut self.buf)? == 0 {
+                return Ok(());
+            }
+            self.line_no += 1;
+            let torn_tail = !self.buf.ends_with('\n');
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = match parse_json(line) {
+                Ok(v) => v,
+                Err(_) if torn_tail => return Ok(()),
+                Err(e) => {
+                    return Err(bad_data(format!(
+                        "corrupt record line {} in {}: {e}",
+                        self.line_no,
+                        self.path.display()
+                    )))
+                }
+            };
+            let id = v.get("job")?.usize()?;
+            if let Some(last) = self.last_id {
+                if id <= last {
+                    return Err(bad_data(format!(
+                        "job {id} follows job {last} in {} (line {}) — records must \
+                         strictly ascend within a store, so this line is a duplicate \
+                         or the file has been reordered",
+                        self.path.display(),
+                        self.line_no
+                    )));
+                }
+            }
+            self.last_id = Some(id);
+            self.head = Some((id, v));
+            return Ok(());
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -868,7 +1067,7 @@ fn record_line_into(out: &mut String, id: usize, record: &Record) {
     out.push_str("]}}\n");
 }
 
-fn metrics_from_json(v: &JVal) -> io::Result<RunMetrics> {
+pub(crate) fn metrics_from_json(v: &JVal) -> io::Result<RunMetrics> {
     Ok(RunMetrics {
         data_sent: v.get("data_sent")?.u64()?,
         data_delivered: v.get("data_delivered")?.u64()?,

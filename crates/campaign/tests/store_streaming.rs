@@ -9,7 +9,8 @@
 
 use eend_campaign::store::Manifest;
 use eend_campaign::{
-    merge_stores, BaseScenario, CampaignSpec, Executor, FailurePlan, ResultStore,
+    merge_stores, merge_stores_streaming, BaseScenario, CampaignSpec, CsvSink, Executor,
+    FailurePlan, ResultStore,
 };
 use eend_wireless::{radio_profiles, stacks, TrafficModel};
 use std::path::PathBuf;
@@ -234,6 +235,107 @@ fn store_refuses_a_different_spec() {
     let store = ResultStore::open(&dir, Manifest::for_spec(&original, 0, 1)).unwrap();
     assert_eq!(store.completed().len(), 1);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_interior_line_is_an_error_not_a_torn_tail() {
+    // Only the FINAL line of records.jsonl may fail to parse (a torn
+    // write from a kill). Garbage anywhere else means the store is
+    // damaged, and silently dropping the rest of the file would resurrect
+    // the pre-fix behaviour where every record after the corruption was
+    // re-run or lost.
+    let spec = spec();
+    let jobs = spec.expand();
+    let dir = scratch("interior");
+    {
+        let mut store = ResultStore::open(&dir, Manifest::for_spec(&spec, 0, 1)).unwrap();
+        store.run(&Executor::with_workers(2), &jobs, None).unwrap();
+        assert!(store.is_complete(&jobs));
+    }
+    let path = dir.join("records.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 8);
+
+    // Smash line 3 (index 2) into non-JSON, keeping the trailing newline.
+    lines[2] = "{\"job\":2,\"stack\":";
+    std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+    // Both the scan on open and the bulk loader must name the bad line.
+    let err = ResultStore::open_existing(&dir).unwrap_err();
+    assert!(err.to_string().contains("line 3"), "open_existing: {err}");
+
+    // A torn FINAL line is still tolerated: rebuild the file as two good
+    // records plus a truncated third.
+    let good: Vec<&str> = text.lines().take(2).collect();
+    std::fs::write(&path, format!("{}\n{{\"job\":7,\"sta", good.join("\n"))).unwrap();
+    let store = ResultStore::open_existing(&dir).unwrap();
+    assert_eq!(store.completed().len(), 2, "torn tail drops exactly one record");
+    assert_eq!(store.load_metrics(Some(&jobs)).unwrap().len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_job_record_is_refused_by_name() {
+    // Two records for the same job id mean the store was corrupted or
+    // merged with itself; last-wins would silently pick one.
+    let spec = spec();
+    let jobs = spec.expand();
+    let dir = scratch("dupid");
+    {
+        let mut store = ResultStore::open(&dir, Manifest::for_spec(&spec, 0, 1)).unwrap();
+        store.run(&Executor::with_workers(2), &jobs, None).unwrap();
+    }
+    let path = dir.join("records.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let first = text.lines().next().unwrap();
+    std::fs::write(&path, format!("{text}{first}\n")).unwrap();
+
+    let err = ResultStore::open_existing(&dir).unwrap_err();
+    assert!(
+        err.to_string().contains("job 0") && err.to_string().contains("more than one record"),
+        "open_existing must name the duplicated job: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streaming_merge_is_byte_identical_and_refuses_overlap() {
+    let spec = spec();
+    let jobs = spec.expand();
+    let one_shot = Executor::with_workers(1).run(&spec);
+
+    let dirs: Vec<PathBuf> = (0..2).map(|i| scratch(&format!("streammerge{i}"))).collect();
+    let mut stores = Vec::new();
+    for (i, dir) in dirs.iter().enumerate() {
+        let mut store = ResultStore::open(dir, Manifest::for_spec(&spec, i, 2)).unwrap();
+        store.run(&Executor::with_workers(i + 2), &spec.shard(i, 2), None).unwrap();
+        stores.push(store);
+    }
+    let refs: Vec<&ResultStore> = stores.iter().collect();
+
+    // Record-by-record merge into a CSV sink == the batch result's CSV.
+    let mut sink = CsvSink::new("durability", Vec::new());
+    merge_stores_streaming(&refs, &jobs, &mut sink).unwrap();
+    assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), one_shot.to_csv());
+
+    // Two stores both holding job 0 (the full unsharded grid twice) is
+    // an overlap, not a merge.
+    let dup_dirs: Vec<PathBuf> = (0..2).map(|i| scratch(&format!("dupstore{i}"))).collect();
+    let mut dup_stores = Vec::new();
+    for dir in &dup_dirs {
+        let mut store = ResultStore::open(dir, Manifest::for_spec(&spec, 0, 1)).unwrap();
+        store.run(&Executor::with_workers(2), &jobs, None).unwrap();
+        dup_stores.push(store);
+    }
+    let dup_refs: Vec<&ResultStore> = dup_stores.iter().collect();
+    let mut sink = CsvSink::new("durability", Vec::new());
+    let err = merge_stores_streaming(&dup_refs, &jobs, &mut sink).unwrap_err();
+    assert!(err.to_string().contains("more than one store"), "got: {err}");
+
+    for dir in dirs.iter().chain(&dup_dirs) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
 
 #[test]

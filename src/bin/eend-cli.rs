@@ -71,8 +71,8 @@
 
 use eend::campaign::store::Manifest;
 use eend::campaign::{
-    merge_stores, BaseScenario, CampaignResult, CampaignSpec, CsvSink, Executor, FailurePlan,
-    ResultStore,
+    merge_stores, merge_stores_streaming, BaseScenario, CampaignResult, CampaignSpec, CsvSink,
+    Executor, FailurePlan, ResultStore,
 };
 use eend::radio::cards;
 use eend::sim::SimDuration;
@@ -729,6 +729,20 @@ fn run_merge(o: MergeOpts) {
     let spec = axes.to_spec(&first.campaign).unwrap_or_else(|e| die(&e));
     let jobs = spec.expand();
     let refs: Vec<&ResultStore> = stores.iter().collect();
+    if o.csv {
+        // CSV needs no cross-record aggregation, so drive the shard
+        // records straight to stdout: one in-flight record per store,
+        // never the whole grid in memory.
+        let stdout = std::io::stdout();
+        let mut sink = CsvSink::new(&first.campaign, stdout.lock());
+        merge_stores_streaming(&refs, &jobs, &mut sink).unwrap_or_else(|e| die(&e));
+        eprintln!(
+            "merge: {} record(s) streamed from {} store(s)",
+            jobs.len(),
+            stores.len()
+        );
+        return;
+    }
     let result = merge_stores(&refs, &jobs).unwrap_or_else(|e| die(&e));
     eprintln!(
         "merge: {} record(s) reassembled from {} store(s)",
@@ -747,15 +761,18 @@ struct BenchOpts {
     json: bool,
     check: Option<String>,
     tolerance: f64,
+    allow_missing_presets: bool,
 }
 
 fn bench_usage() -> ! {
     eprintln!(
         "usage: eend-cli bench [--runs N] [--workers W] [--nodes 50,100,200]\n\
          \u{20}                     [--scale 1k,10k,100k] [--json] [--check BENCH_FILE]\n\
-         \u{20}                     [--tolerance 0.30]\n\
+         \u{20}                     [--tolerance 0.30] [--allow-missing-presets]\n\
          \u{20}  --scale runs the mobility_scale grid presets (1k/10k/100k, or a\n\
-         \u{20}  bare grid side length); passing it alone skips the default --nodes set"
+         \u{20}  bare grid side length); passing it alone skips the default --nodes set\n\
+         \u{20}  --allow-missing-presets lets --check pass when the record gates\n\
+         \u{20}  presets this invocation did not run (a deliberately narrowed sweep)"
     );
     std::process::exit(2)
 }
@@ -796,6 +813,7 @@ fn parse_bench(args: impl Iterator<Item = String>) -> BenchOpts {
         json: false,
         check: None,
         tolerance: 0.30,
+        allow_missing_presets: false,
     };
     let mut nodes_given = false;
     let mut args = args.peekable();
@@ -821,6 +839,7 @@ fn parse_bench(args: impl Iterator<Item = String>) -> BenchOpts {
             "--tolerance" => {
                 o.tolerance = val("--tolerance").parse().unwrap_or_else(|_| bench_usage())
             }
+            "--allow-missing-presets" => o.allow_missing_presets = true,
             "--help" | "-h" => bench_usage(),
             other => {
                 eprintln!("error: unknown bench argument {other}");
@@ -968,7 +987,7 @@ fn run_bench(o: BenchOpts) {
     }
 
     if let Some(path) = &o.check {
-        check_against_record(path, &results, o.tolerance);
+        check_against_record(path, &results, o.tolerance, o.allow_missing_presets);
     }
 }
 
@@ -998,7 +1017,12 @@ fn parse_record_rates(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-fn check_against_record(path: &str, results: &[PresetResult], tolerance: f64) {
+fn check_against_record(
+    path: &str,
+    results: &[PresetResult],
+    tolerance: f64,
+    allow_missing: bool,
+) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read perf record {path}: {e}");
         std::process::exit(2)
@@ -1035,9 +1059,32 @@ fn check_against_record(path: &str, results: &[PresetResult], tolerance: f64) {
         gated += 1;
         failed |= !ok;
     }
-    eprintln!("check: {gated} preset(s) gated, {skipped} absent from the record");
+    // The converse gap: presets the record gates that this invocation
+    // never ran. Silently ignoring them would let a narrowed --nodes or
+    // --scale sweep shrink the gate without anyone noticing.
+    let mut unmeasured = 0usize;
+    for (name, _) in &recorded {
+        if results.iter().all(|r| r.name != *name) {
+            eprintln!(
+                "check: {name:12} in record but not measured this run{}",
+                if allow_missing { " (allowed)" } else { "" }
+            );
+            unmeasured += 1;
+        }
+    }
+    eprintln!(
+        "check: {gated} preset(s) gated, {skipped} absent from the record, \
+         {unmeasured} recorded but unmeasured"
+    );
+    if unmeasured > 0 && !allow_missing {
+        eprintln!(
+            "check: the record gates preset(s) this run did not measure; \
+             re-run the full sweep or pass --allow-missing-presets to narrow it deliberately"
+        );
+        failed = true;
+    }
     if failed {
-        eprintln!("check: throughput regressed more than {:.0}%", tolerance * 100.0);
+        eprintln!("check: perf gate failed (tolerance {:.0}%)", tolerance * 100.0);
         std::process::exit(1)
     }
 }

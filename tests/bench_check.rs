@@ -1,0 +1,79 @@
+//! The `eend-cli bench --check` perf gate must not silently shrink:
+//! a record preset the current invocation never measured (a narrowed
+//! `--nodes`/`--scale` sweep) has to fail the gate unless the caller
+//! opts in with `--allow-missing-presets`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch_record(tag: &str, text: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "eend-bench-check-{}-{tag}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn bench(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_eend-cli"))
+        .arg("bench")
+        .args(args)
+        .output()
+        .expect("run eend-cli bench")
+}
+
+#[test]
+fn gate_fails_on_recorded_but_unmeasured_presets_unless_allowed() {
+    // mobility50 will be measured (floor ~0 so it always passes);
+    // mobility9000 exists only in the record.
+    let record = scratch_record(
+        "missing",
+        "{\"presets\":[\
+         {\"name\": \"mobility50\", \"runs_per_sec\": 0.0001},\
+         {\"name\": \"mobility9000\", \"runs_per_sec\": 123.0}]}",
+    );
+    let path = record.to_str().unwrap();
+
+    let out = bench(&["--runs", "1", "--nodes", "50", "--check", path]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "a recorded-but-unmeasured preset must fail the gate: {stderr}"
+    );
+    assert!(stderr.contains("mobility9000"), "must name the unmeasured preset: {stderr}");
+    assert!(
+        stderr.contains("--allow-missing-presets"),
+        "must point at the opt-out flag: {stderr}"
+    );
+
+    let out = bench(&[
+        "--runs", "1", "--nodes", "50", "--check", path, "--allow-missing-presets",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "the flag must let a narrowed sweep pass: {stderr}");
+    assert!(
+        stderr.contains("mobility9000") && stderr.contains("allowed"),
+        "the narrowed gate still reports what it skipped: {stderr}"
+    );
+
+    let _ = std::fs::remove_file(&record);
+}
+
+#[test]
+fn gate_still_catches_regressions_in_measured_presets() {
+    // An impossible floor: the gate must fail on the measured preset
+    // itself, flag or no flag.
+    let record = scratch_record(
+        "regression",
+        "{\"presets\":[{\"name\": \"mobility50\", \"runs_per_sec\": 1000000000000.0}]}",
+    );
+    let path = record.to_str().unwrap();
+    let out = bench(&[
+        "--runs", "1", "--nodes", "50", "--check", path, "--allow-missing-presets",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "a real regression must still fail: {stderr}");
+    assert!(stderr.contains("REGRESSION"), "got: {stderr}");
+    let _ = std::fs::remove_file(&record);
+}

@@ -1,0 +1,279 @@
+//! The `eend-serve` daemon's contracts, pinned in-process against the
+//! offline pipeline:
+//!
+//! 1. a submitted spec runs to completion and `/stream` replays it
+//!    **byte-identically** to the one-shot CLI/CSV export;
+//! 2. an identical re-submission answers from cache without executing a
+//!    single simulation job (the executor job counter must not move);
+//! 3. a daemon started over a killed campaign's data directory resumes
+//!    it, running only the missing jobs (kill-resume);
+//! 4. a client dropped mid-stream reconnects with `?from=` and the
+//!    concatenated bodies equal the uninterrupted stream;
+//! 5. `/aggregate` matches the in-memory aggregation cell for cell.
+
+use eend::campaign::serve::{serve, ServeConfig};
+use eend::campaign::store::Manifest;
+use eend::campaign::{
+    fingerprint, metric_columns, BaseScenario, CampaignResult, CampaignSpec, Executor,
+    JsonlSink, RecordSink, ResultStore, SpecAxes,
+};
+use eend::wireless::stacks;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A unique scratch directory per test invocation (no tempfile dep).
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eend-serve-test-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("cli", BaseScenario::Small)
+        .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+        .rates(vec![2.0, 4.0])
+        .seeds(1)
+        .secs(15)
+}
+
+fn submit_body(spec: &CampaignSpec) -> String {
+    let axes = SpecAxes::of(spec).expect("test spec must be wire-expressible");
+    format!("{{\"campaign\":\"{}\",\"axes\":{}}}", spec.name, axes.to_json())
+}
+
+// --------------------------------------------------------------------
+// A raw one-request HTTP client (responses are close-delimited).
+
+fn request(addr: SocketAddr, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect to daemon");
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The body of a response (everything past the blank line).
+fn body(resp: &str) -> &str {
+    resp.split_once("\r\n\r\n").expect("malformed response").1
+}
+
+/// The 16-hex-digit fingerprint out of a submit/status body.
+fn fp_of(json: &str) -> String {
+    let at = json.find("\"fingerprint\":\"").expect("fingerprint field") + 15;
+    json[at..at + 16].to_owned()
+}
+
+fn wait_done(addr: SocketAddr, fp: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = get(addr, &format!("/status/{fp}"));
+        if body(&status).contains("\"state\":\"done\"") {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "campaign never finished: {status}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// The `/aggregate` body this campaign must produce, built from the
+/// in-memory result through the same Series aggregation.
+fn expected_aggregate(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    for (name, f) in metric_columns() {
+        for s in result.series(|p| p.rate_kbps, f) {
+            for p in s.points {
+                out.push_str(&format!(
+                    "{{\"metric\":\"{name}\",\"stack\":\"{}\",\"x\":{},\"n\":{},\"mean\":{},\"ci95\":{}}}\n",
+                    s.label,
+                    jnum(p.x),
+                    p.summary.n,
+                    jnum(p.summary.mean),
+                    jnum(p.summary.ci95_half_width())
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn submit_streams_byte_identically_and_resubmit_hits_the_cache() {
+    let spec = spec();
+    let expected = Executor::with_workers(1).run(&spec);
+    let data = scratch("cache");
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    assert_eq!(body(&get(addr, "/")), "eend-serve\n", "health probe");
+
+    // Cold submit: nothing durable yet, the campaign queues.
+    let submitted = post(addr, "/submit", &submit_body(&spec));
+    let sb = body(&submitted);
+    assert!(sb.contains("\"total\":4") && sb.contains("\"cached\":false"), "cold: {sb}");
+    let fp = fp_of(sb);
+    wait_done(addr, &fp);
+    assert_eq!(handle.jobs_executed(), 4, "every job ran exactly once");
+
+    // The streamed CSV is byte-identical to the offline export.
+    let csv = get(addr, &format!("/stream/{fp}?format=csv"));
+    assert_eq!(body(&csv), expected.to_csv());
+
+    // The JSONL stream matches the JSONL sink over the same records.
+    let mut sink = JsonlSink::new(&expected.campaign, Vec::new());
+    for r in &expected.records {
+        sink.accept(r).unwrap();
+    }
+    sink.finish().unwrap();
+    let jsonl = String::from_utf8(sink.into_inner()).unwrap();
+    assert_eq!(body(&get(addr, &format!("/stream/{fp}"))), jsonl);
+
+    // THE cache contract: an identical re-submission answers "done"
+    // from cache and the daemon does not run a single job for it.
+    let resub = post(addr, "/submit", &submit_body(&spec));
+    let rb = body(&resub);
+    assert!(rb.contains("\"cached\":true") && rb.contains("\"state\":\"done\""), "warm: {rb}");
+    assert_eq!(fp_of(rb), fp, "same spec, same fingerprint");
+    assert_eq!(handle.jobs_executed(), 4, "cache hit must not execute jobs");
+
+    // Aggregate cells match the in-memory aggregation.
+    let agg = get(addr, &format!("/aggregate/{fp}"));
+    assert_eq!(body(&agg), expected_aggregate(&expected));
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn daemon_resumes_a_killed_campaign_running_only_missing_jobs() {
+    let spec = spec();
+    let jobs = spec.expand();
+    let expected = Executor::with_workers(1).run(&spec);
+    let data = scratch("resume");
+
+    // A previous daemon (or CLI --out run) died after 2 durable jobs,
+    // mid-write on the third: pre-populate the fingerprinted store the
+    // way the daemon lays it out.
+    let fp = fingerprint(&spec.name, &jobs);
+    let store_dir = data.join(format!("{fp:016x}"));
+    {
+        let mut store = ResultStore::open(&store_dir, Manifest::for_spec(&spec, 0, 1)).unwrap();
+        assert_eq!(store.run(&Executor::with_workers(2), &jobs, Some(2)).unwrap(), 2);
+    }
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(store_dir.join("records.jsonl"))
+            .unwrap();
+        write!(f, "{{\"job\":2,\"sta").unwrap(); // torn tail, no newline
+    }
+
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Submit finds the durable prefix and schedules only the remainder.
+    let sb_resp = post(addr, "/submit", &submit_body(&spec));
+    let sb = body(&sb_resp);
+    assert!(sb.contains("\"done\":2") && sb.contains("\"cached\":false"), "resume: {sb}");
+    assert_eq!(fp_of(sb), format!("{fp:016x}"));
+    wait_done(addr, &format!("{fp:016x}"));
+    assert_eq!(handle.jobs_executed(), jobs.len() - 2, "only the missing jobs ran");
+
+    // The reassembled stream is still byte-identical to one-shot.
+    let csv = get(addr, &format!("/stream/{fp:016x}?format=csv"));
+    assert_eq!(body(&csv), expected.to_csv());
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn dropped_stream_reconnects_with_from_and_loses_nothing() {
+    let spec = spec();
+    let expected = Executor::with_workers(1).run(&spec);
+    let mut sink = JsonlSink::new(&expected.campaign, Vec::new());
+    for r in &expected.records {
+        sink.accept(r).unwrap();
+    }
+    sink.finish().unwrap();
+    let full = String::from_utf8(sink.into_inner()).unwrap();
+
+    let data = scratch("reconnect");
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let fp = fp_of(body(&post(addr, "/submit", &submit_body(&spec))));
+
+    // Open the live stream immediately, read exactly two records as
+    // they become durable, then drop the connection mid-stream.
+    let mut first_two = String::new();
+    {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(format!("GET /stream/{fp} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" {
+                break; // end of response headers
+            }
+            assert!(!line.is_empty(), "stream closed before the body started");
+        }
+        for _ in 0..2 {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            first_two.push_str(&line);
+        }
+    } // connection dropped here, mid-stream
+
+    wait_done(addr, &fp);
+
+    // Reconnect where we left off; nothing is missing, nothing repeats.
+    let rest = get(addr, &format!("/stream/{fp}?from=2"));
+    assert_eq!(format!("{first_two}{}", body(&rest)), full);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
