@@ -25,8 +25,199 @@ use crate::spec::Job;
 use eend_wireless::Simulator;
 use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Deterministic exponential backoff between retry attempts:
+/// `delay(attempt) = base_ms << (attempt - 1)`, capped at
+/// [`Backoff::CAP_MS`]. A `base_ms` of 0 never sleeps, which is what
+/// chaos tests use to keep retries wall-clock free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+}
+
+impl Backoff {
+    /// Upper bound on any single retry delay.
+    pub const CAP_MS: u64 = 5_000;
+
+    /// No delay between attempts (deterministic-test mode).
+    pub const fn none() -> Backoff {
+        Backoff { base_ms: 0 }
+    }
+
+    /// The delay after the `attempt`-th failure (1-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if self.base_ms == 0 {
+            return Duration::ZERO;
+        }
+        let shift = attempt.saturating_sub(1).min(32);
+        Duration::from_millis(self.base_ms.saturating_mul(1u64 << shift).min(Self::CAP_MS))
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff { base_ms: 100 }
+    }
+}
+
+/// What a campaign run does when a job panics.
+///
+/// [`FailurePolicy::Abort`] is today's behaviour and the default: the
+/// panic propagates out of the executor exactly as before this type
+/// existed. The containment policies turn a panic into a structured
+/// [`JobFailure`] delivered to the caller's failure callback instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Propagate the panic; the campaign dies (the pre-PR-8 behaviour).
+    #[default]
+    Abort,
+    /// Record the failure and keep going with the remaining jobs.
+    Skip,
+    /// Re-run the job up to `max_attempts` times total, sleeping
+    /// `backoff.delay(k)` after the k-th failure; exhausting every
+    /// attempt degrades to [`FailurePolicy::Skip`] for that job.
+    Retry {
+        /// Total attempts per job (clamped to at least 1).
+        max_attempts: u32,
+        /// Delay schedule between attempts.
+        backoff: Backoff,
+    },
+}
+
+impl FailurePolicy {
+    /// `Retry` with the default backoff schedule.
+    pub fn retry(max_attempts: u32) -> FailurePolicy {
+        FailurePolicy::Retry { max_attempts, backoff: Backoff::default() }
+    }
+
+    /// Parses the CLI / manifest label grammar:
+    /// `abort` | `skip` | `retry=N` | `retry=N:BASE_MS`.
+    pub fn parse(s: &str) -> Option<FailurePolicy> {
+        match s {
+            "abort" => Some(FailurePolicy::Abort),
+            "skip" => Some(FailurePolicy::Skip),
+            _ => {
+                let n = s.strip_prefix("retry=")?;
+                let (attempts, base) = match n.split_once(':') {
+                    Some((a, b)) => (a, Some(b)),
+                    None => (n, None),
+                };
+                let max_attempts: u32 = attempts.parse().ok().filter(|&a| a >= 1)?;
+                let backoff = match base {
+                    Some(b) => Backoff { base_ms: b.parse().ok()? },
+                    None => Backoff::default(),
+                };
+                Some(FailurePolicy::Retry { max_attempts, backoff })
+            }
+        }
+    }
+
+    /// The label [`FailurePolicy::parse`] round-trips: what manifests and
+    /// submit bodies store.
+    pub fn label(&self) -> String {
+        match self {
+            FailurePolicy::Abort => "abort".to_string(),
+            FailurePolicy::Skip => "skip".to_string(),
+            FailurePolicy::Retry { max_attempts, backoff } => {
+                if *backoff == Backoff::default() {
+                    format!("retry={max_attempts}")
+                } else {
+                    format!("retry={max_attempts}:{}", backoff.base_ms)
+                }
+            }
+        }
+    }
+
+    /// Total attempts a job gets under this policy.
+    pub(crate) fn attempts(&self) -> u32 {
+        match self {
+            FailurePolicy::Abort | FailurePolicy::Skip => 1,
+            FailurePolicy::Retry { max_attempts, .. } => (*max_attempts).max(1),
+        }
+    }
+
+    /// The sleep after the `attempt`-th failure (zero unless retrying).
+    pub(crate) fn backoff_delay(&self, attempt: u32) -> Duration {
+        match self {
+            FailurePolicy::Retry { backoff, .. } => backoff.delay(attempt),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// A job that panicked on every attempt its policy allowed, contained
+/// into data instead of an unwinding stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The job's global index within the campaign grid ([`Job::index`]).
+    pub job_id: usize,
+    /// How many attempts were made before giving up.
+    pub attempts: u32,
+    /// The panic payload, stringified.
+    pub cause: String,
+}
+
+/// The outcome of one contained job execution.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// The job produced its record (possibly after retries).
+    Done(Box<Record>),
+    /// The job panicked on every permitted attempt.
+    Failed(JobFailure),
+}
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as a
+/// human-readable cause string.
+pub fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job under a containment policy: `catch_unwind` around the
+/// simulation, retry loop with deterministic backoff, structured failure
+/// when attempts run out. Under [`FailurePolicy::Abort`] the original
+/// panic is re-raised untouched, preserving the executor's historical
+/// panic-propagation semantics byte for byte.
+fn run_job_contained(job: &Job, policy: &FailurePolicy) -> JobOutcome {
+    let attempts = policy.attempts();
+    let mut cause = String::new();
+    for attempt in 1..=attempts {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // Chaos hook: matches on the *global* job index, so it fires
+            // on the same logical job under any worker count.
+            if eend_fail::hit_at("job.run", job.index as u64).is_some() {
+                panic!("failpoint job.run fired (job {})", job.index);
+            }
+            Record { point: job.point.clone(), metrics: Simulator::new(&job.scenario).run() }
+        }));
+        match result {
+            Ok(record) => return JobOutcome::Done(Box::new(record)),
+            Err(payload) => {
+                if matches!(policy, FailurePolicy::Abort) {
+                    resume_unwind(payload);
+                }
+                cause = panic_cause(payload.as_ref());
+                if attempt < attempts {
+                    let delay = policy.backoff_delay(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+    JobOutcome::Failed(JobFailure { job_id: job.index, attempts, cause })
+}
 
 /// A bounded worker pool for campaign jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,27 +418,66 @@ impl Executor {
         window: usize,
         sink: &mut dyn RecordSink,
     ) -> std::io::Result<()> {
+        // Abort policy: a panicking job still unwinds through the pool
+        // exactly as it always has, so the failure callback is dead code.
+        self.run_streaming_policy(
+            jobs,
+            window,
+            &FailurePolicy::Abort,
+            |_, record| sink.accept(record),
+            |f| Err(std::io::Error::other(format!("job {} failed: {}", f.job_id, f.cause))),
+        )?;
+        sink.finish()
+    }
+
+    /// The policy-aware streaming core: simulates every job under a
+    /// [`FailurePolicy`], delivering results **in job order** on the
+    /// calling thread — `on_record(i, record)` for successes (where `i`
+    /// indexes into `jobs`), `on_failure(failure)` for jobs whose panics
+    /// the policy contained. The first callback error aborts the stream
+    /// (no further jobs are claimed) and is returned.
+    ///
+    /// Unlike the sink-based entry points this hands the caller the
+    /// emission index, so consumers that do their own bookkeeping (the
+    /// result store) stay in sync even when failed jobs leave gaps in
+    /// the record sequence.
+    pub fn run_streaming_policy<R, Fl>(
+        &self,
+        jobs: &[Job],
+        window: usize,
+        policy: &FailurePolicy,
+        mut on_record: R,
+        mut on_failure: Fl,
+    ) -> std::io::Result<()>
+    where
+        R: FnMut(usize, &Record) -> std::io::Result<()>,
+        Fl: FnMut(&JobFailure) -> std::io::Result<()>,
+    {
         let mut err: Option<std::io::Error> = None;
         self.par_stream(
             jobs.len(),
             window,
-            |i| {
-                let job = &jobs[i];
-                Record { point: job.point.clone(), metrics: Simulator::new(&job.scenario).run() }
-            },
-            |_, record| match sink.accept(&record) {
-                Ok(()) => true,
-                Err(e) => {
-                    // First sink failure aborts the stream: no further
-                    // jobs are claimed, the error surfaces immediately.
-                    err = Some(e);
-                    false
+            |i| run_job_contained(&jobs[i], policy),
+            |i, outcome| {
+                let result = match &outcome {
+                    JobOutcome::Done(record) => on_record(i, record),
+                    JobOutcome::Failed(failure) => on_failure(failure),
+                };
+                match result {
+                    Ok(()) => true,
+                    Err(e) => {
+                        // First consumer failure aborts the stream: no
+                        // further jobs are claimed, the error surfaces
+                        // immediately.
+                        err = Some(e);
+                        false
+                    }
                 }
             },
         );
         match err {
             Some(e) => Err(e),
-            None => sink.finish(),
+            None => Ok(()),
         }
     }
 
@@ -454,6 +684,37 @@ mod tests {
             started < 100,
             "abort must stop the pool promptly; {started} jobs ran out of 10000"
         );
+    }
+
+    #[test]
+    fn failure_policy_labels_round_trip() {
+        for policy in [
+            FailurePolicy::Abort,
+            FailurePolicy::Skip,
+            FailurePolicy::retry(3),
+            FailurePolicy::Retry { max_attempts: 5, backoff: Backoff::none() },
+            FailurePolicy::Retry { max_attempts: 2, backoff: Backoff { base_ms: 250 } },
+        ] {
+            assert_eq!(FailurePolicy::parse(&policy.label()), Some(policy.clone()), "{policy:?}");
+        }
+        assert_eq!(FailurePolicy::parse("retry=3").unwrap().label(), "retry=3");
+        assert_eq!(FailurePolicy::parse("retry=3:0").unwrap().label(), "retry=3:0");
+        assert_eq!(FailurePolicy::parse("retry=0"), None);
+        assert_eq!(FailurePolicy::parse("retry="), None);
+        assert_eq!(FailurePolicy::parse("sometimes"), None);
+        assert_eq!(FailurePolicy::default(), FailurePolicy::Abort);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let b = Backoff { base_ms: 100 };
+        let ms: Vec<u64> = (1..=8).map(|a| b.delay(a).as_millis() as u64).collect();
+        assert_eq!(ms, vec![100, 200, 400, 800, 1600, 3200, 5000, 5000]);
+        // base 0 never sleeps — the wall-clock-free test mode.
+        assert_eq!(Backoff::none().delay(1), Duration::ZERO);
+        assert_eq!(Backoff::none().delay(40), Duration::ZERO);
+        // Huge attempt counts must not overflow the shift.
+        assert_eq!(b.delay(u32::MAX).as_millis() as u64, Backoff::CAP_MS);
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //!    into any sink, so grids larger than RAM still reassemble;
 //! 5. [`serve`] runs all of that as a long-lived daemon: specs arrive
 //!    over a line-oriented HTTP/JSONL protocol, land in fingerprinted
-//!    stores, and identical re-submissions answer from cache.
+//!    stores, and identical re-submissions answer from cache;
+//! 6. failures are *contained*: a [`FailurePolicy`] turns a panicking
+//!    job into a durable [`JobFailure`] (logged to `failures.jsonl`,
+//!    re-attempted on resume) instead of a dead campaign, record
+//!    appends retry with deterministic [`Backoff`], and the whole stack
+//!    is chaos-testable through the `eend_fail` failpoint registry.
 //!
 //! The `eend-bench` figure binaries, the `eend-cli campaign`
 //! subcommand, and the `eend-serve` daemon are thin layers over this
@@ -63,11 +68,12 @@ pub mod sink;
 pub mod spec;
 pub mod store;
 
-pub use executor::Executor;
+pub use executor::{Backoff, Executor, FailurePolicy, JobFailure, JobOutcome};
 pub use report::{metric_columns, CampaignResult, MetricColumn, Record};
 pub use serve::{ServeConfig, ServerHandle};
 pub use sink::{CsvSink, FanoutSink, JsonlSink, MemorySink, RecordSink};
 pub use spec::{BaseScenario, CampaignSpec, FailurePlan, GridPoint, Job};
 pub use store::{
-    fingerprint, merge_stores, merge_stores_streaming, Manifest, ResultStore, SpecAxes,
+    fingerprint, merge_stores, merge_stores_streaming, write_atomic, Manifest, ResultStore,
+    RunOptions, RunOutcome, SpecAxes,
 };

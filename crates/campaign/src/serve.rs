@@ -15,8 +15,8 @@
 //!
 //! | Request | Body / query | Response |
 //! |---|---|---|
-//! | `POST /submit` | `{"campaign": name, "axes": {…}}` — the axes use the exact [`SpecAxes::to_json`] schema stored in store manifests | `{"fingerprint","total","done","cached","state"}` |
-//! | `GET /status/<fp>` | — | `{"fingerprint","total","done","state","error","executed"}` |
+//! | `POST /submit` | `{"campaign": name, "axes": {…}, "on_failure": "abort"\|"skip"\|"retry=N"?}` — the axes use the exact [`SpecAxes::to_json`] schema stored in store manifests; `on_failure` (optional) sets the store's [`FailurePolicy`] | `{"fingerprint","total","done","cached","state"}` |
+//! | `GET /status/<fp>` | — | `{"fingerprint","total","done","failed","state","error","executed"}` |
 //! | `GET /stream/<fp>` | `?from=N&format=jsonl\|csv` | one record per line as jobs complete, resuming from the store at record `N` (reconnects pick up where they left off) |
 //! | `GET /aggregate/<fp>` | — | one JSONL cell per (metric, stack, x): `{"metric","stack","x","n","mean","ci95"}` |
 //! | `GET /` | — | health probe (`eend-serve`) |
@@ -41,27 +41,49 @@
 //! `/aggregate` drives [`merge_stores_streaming`] into per-metric
 //! [`StreamingAggregator`]s — both byte-identical to the offline CLI
 //! path, pinned by integration tests.
+//!
+//! # Fault containment
+//!
+//! The campaign runner is *supervised*: a campaign that panics (the
+//! default abort policy, or a store-layer bug) marks that fingerprint
+//! failed — `/status/<fp>` answers `"state":"failed"` with the panic
+//! cause in `"error"` — while the daemon and its other campaigns keep
+//! serving. Connection handlers are supervised the same way (a handler
+//! panic costs one connection, answered 500). POST bodies are bounded
+//! (413 past 1 MiB), header floods are cut off, and slow, timed-out, or
+//! malformed clients are logged with their peer address. On shutdown
+//! ([`ServerHandle::shutdown`], or SIGTERM/ctrl-c in the binary) the
+//! daemon stops accepting, lets the in-flight record finish durably
+//! (the store's cooperative cancel flag), flushes, and exits cleanly —
+//! a restart over the same data dir resumes exactly the missing jobs.
 
-use crate::executor::Executor;
+use crate::executor::{panic_cause, Executor, FailurePolicy};
 use crate::report::{csv_header_into, csv_row_into, json_num, json_row_into, json_str, Record};
 use crate::spec::{CampaignSpec, GridPoint, Job};
 use crate::store::{
     fingerprint, merge_stores_streaming, metrics_from_json, parse_json, verify_line_identity,
-    Manifest, ResultStore, SpecAxes, RECORDS_FILE,
+    JVal, Manifest, ResultStore, RunOptions, SpecAxes, RECORDS_FILE,
 };
 use crate::RecordSink;
 use eend_stats::grouped::StreamingAggregator;
 use eend_wireless::RunMetrics;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+/// Largest POST body the daemon will buffer; a submit spec is a few
+/// hundred bytes, so anything near this is abuse, not a campaign.
+const MAX_BODY_BYTES: usize = 1 << 20;
+/// Header-flood cutoff for one request.
+const MAX_HEADER_LINES: usize = 100;
 
 fn bad_req(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -89,9 +111,15 @@ enum Phase {
 
 /// Mutable progress of one campaign, guarded by its entry's mutex.
 struct Progress {
-    /// Jobs with durable records. Records are written in job order, so
-    /// this is also the id of the next record a subscriber can tail.
+    /// Length of the *contiguous* durable-record prefix — the id of the
+    /// next record a subscriber can tail. Under the default abort
+    /// policy records land strictly in job order and this equals the
+    /// completed count; a containing policy can leave gaps, and a gap
+    /// must hold the tail back rather than overstate progress.
     done: usize,
+    /// Jobs whose last attempt failed under a containing policy —
+    /// durable in `failures.jsonl`, re-attempted on the next run.
+    failed: usize,
     phase: Phase,
     /// The last run's failure, if it ended early.
     error: Option<String>,
@@ -103,6 +131,9 @@ struct CampaignEntry {
     jobs: Vec<Job>,
     fingerprint: u64,
     dir: PathBuf,
+    /// Failure policy requested at submit time; `None` inherits
+    /// whatever the store's manifest recorded (default abort).
+    policy: Mutex<Option<FailurePolicy>>,
     progress: Mutex<Progress>,
     /// Notified on every completed record and phase change, so
     /// streaming subscribers wake the moment a record is tailable.
@@ -230,47 +261,112 @@ fn runner_loop(state: &ServeState, rx: mpsc::Receiver<Arc<CampaignEntry>>) {
             continue;
         }
         entry.set_phase(Phase::Running, None);
-        let result = ResultStore::open(&entry.dir, Manifest::for_spec(&entry.spec, 0, 1))
-            .and_then(|mut store| {
-                store.run_observed(&state.executor, &entry.jobs, None, |id| {
-                    state.jobs_executed.fetch_add(1, Ordering::SeqCst);
-                    let mut p = entry.progress.lock().expect("progress lock poisoned");
-                    // Records land in job order; id + 1 is the tailable
-                    // prefix length.
-                    p.done = p.done.max(id + 1);
-                    drop(p);
-                    entry.cv.notify_all();
-                })
-            });
-        entry.set_phase(Phase::Idle, result.err().map(|e| e.to_string()));
+        let requested = entry.policy.lock().expect("policy lock poisoned").clone();
+        // Supervised: a panicking campaign (abort policy, or a bug
+        // anywhere under the store) marks this fingerprint failed; the
+        // daemon and its other campaigns keep serving.
+        let run = catch_unwind(AssertUnwindSafe(|| run_campaign(state, &entry, requested)));
+        let error = match run {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(payload) => Some(format!("campaign panicked: {}", panic_cause(payload.as_ref()))),
+        };
+        entry.set_phase(Phase::Idle, error);
     }
+}
+
+/// One supervised campaign run: open (resume) the store, honouring a
+/// submit-time policy override, and execute the pending jobs with the
+/// daemon's shutdown flag as the cooperative cancel signal.
+fn run_campaign(
+    state: &ServeState,
+    entry: &Arc<CampaignEntry>,
+    requested: Option<FailurePolicy>,
+) -> io::Result<()> {
+    let mut manifest = Manifest::for_spec(&entry.spec, 0, 1);
+    manifest.on_failure = requested.map(|p| p.label());
+    let mut store = ResultStore::open(&entry.dir, manifest)?;
+    let opts = RunOptions {
+        limit: None,
+        policy: store.policy(),
+        cancel: Some(&state.shutdown),
+    };
+    let mut have: BTreeSet<usize> = store.completed().clone();
+    let outcome = store.run_with(&state.executor, &entry.jobs, &opts, |id| {
+        state.jobs_executed.fetch_add(1, Ordering::SeqCst);
+        have.insert(id);
+        let mut p = entry.progress.lock().expect("progress lock poisoned");
+        // Publish the contiguous durable prefix: a skipped job's gap
+        // holds the tail back until a later resume fills it.
+        while have.contains(&p.done) {
+            p.done += 1;
+        }
+        drop(p);
+        entry.cv.notify_all();
+    })?;
+    let mut p = entry.progress.lock().expect("progress lock poisoned");
+    p.failed = store.failures().len();
+    drop(p);
+    if outcome.failed > 0 {
+        return Err(io::Error::other(format!(
+            "{} job(s) failed and remain pending (recorded in failures.jsonl)",
+            outcome.failed
+        )));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Campaign registry.
 
 /// Registers `spec` (idempotently, by fingerprint), opening — and
-/// thereby resuming — its store under the data directory.
-fn register(state: &ServeState, spec: CampaignSpec) -> io::Result<Arc<CampaignEntry>> {
+/// thereby resuming — its store under the data directory. A `Some`
+/// policy (from a submit's `on_failure` field) overrides the entry's
+/// policy for subsequent runs; `None` leaves it alone.
+fn register(
+    state: &ServeState,
+    spec: CampaignSpec,
+    policy: Option<FailurePolicy>,
+) -> io::Result<Arc<CampaignEntry>> {
     let jobs = spec.expand();
     let fp = fingerprint(&spec.name, &jobs);
     let mut map = state.campaigns.lock().expect("registry lock poisoned");
     if let Some(e) = map.get(&fp) {
+        if let Some(p) = policy {
+            *e.policy.lock().expect("policy lock poisoned") = Some(p);
+        }
         return Ok(Arc::clone(e));
     }
     let dir = state.data_dir.join(format!("{fp:016x}"));
-    let store = ResultStore::open(&dir, Manifest::for_spec(&spec, 0, 1))?;
-    let done = store.completed().len();
+    let mut manifest = Manifest::for_spec(&spec, 0, 1);
+    manifest.on_failure = policy.as_ref().map(|p| p.label());
+    let store = ResultStore::open(&dir, manifest)?;
+    let done = durable_prefix(store.completed());
+    let failed = store.failures().len();
     let entry = Arc::new(CampaignEntry {
         spec,
         jobs,
         fingerprint: fp,
         dir,
-        progress: Mutex::new(Progress { done, phase: Phase::Idle, error: None }),
+        policy: Mutex::new(policy),
+        progress: Mutex::new(Progress { done, failed, phase: Phase::Idle, error: None }),
         cv: Condvar::new(),
     });
     map.insert(fp, Arc::clone(&entry));
     Ok(entry)
+}
+
+/// Length of the contiguous durable prefix `0..n` of `completed` — the
+/// tailable record count (see [`Progress::done`]).
+fn durable_prefix(completed: &BTreeSet<usize>) -> usize {
+    let mut n = 0;
+    for &id in completed {
+        if id != n {
+            break;
+        }
+        n += 1;
+    }
+    n
 }
 
 /// Looks a fingerprint up in the registry, falling back to rehydrating
@@ -293,7 +389,7 @@ fn find_campaign(state: &ServeState, fp: u64) -> io::Result<Option<Arc<CampaignE
             dir.display()
         )));
     };
-    let entry = register(state, axes.to_spec(&manifest.campaign)?)?;
+    let entry = register(state, axes.to_spec(&manifest.campaign)?, None)?;
     if entry.fingerprint != fp {
         return Err(bad_req(format!(
             "store {} rebuilds to fingerprint {:016x}, not {fp:016x}",
@@ -343,7 +439,12 @@ fn read_request(stream: &TcpStream) -> io::Result<Request> {
     let method = parts.next().ok_or_else(|| bad_req("empty request line"))?.to_owned();
     let target = parts.next().ok_or_else(|| bad_req("request line lacks a target"))?.to_owned();
     let mut content_length = 0usize;
+    let mut header_lines = 0usize;
     loop {
+        header_lines += 1;
+        if header_lines > MAX_HEADER_LINES {
+            return Err(bad_req(format!("more than {MAX_HEADER_LINES} request headers")));
+        }
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
             break;
@@ -360,6 +461,14 @@ fn read_request(stream: &TcpStream) -> io::Result<Request> {
                     .map_err(|_| bad_req(format!("bad Content-Length {:?}", v.trim())))?;
             }
         }
+    }
+    if content_length > MAX_BODY_BYTES {
+        // InvalidInput is the oversize marker: the connection handler
+        // maps it to 413 instead of a generic 400.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("request body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte cap"),
+        ));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -385,7 +494,9 @@ fn status_text(code: u16) -> &'static str {
         400 => "400 Bad Request",
         404 => "404 Not Found",
         405 => "405 Method Not Allowed",
+        408 => "408 Request Timeout",
         409 => "409 Conflict",
+        413 => "413 Payload Too Large",
         _ => "500 Internal Server Error",
     }
 }
@@ -424,29 +535,59 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>) {
 }
 
 fn handle_connection(mut stream: TcpStream, state: &ServeState) -> io::Result<()> {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown peer>".to_owned());
+    // Supervised: a bug in one request handler costs that connection an
+    // error response, never the daemon.
+    match catch_unwind(AssertUnwindSafe(|| dispatch(&mut stream, state, &peer))) {
+        Ok(result) => result,
+        Err(payload) => {
+            eprintln!(
+                "eend-serve: {peer}: connection handler panicked: {}",
+                panic_cause(payload.as_ref())
+            );
+            respond(&mut stream, 500, "text/plain", "internal error\n")
+        }
+    }
+}
+
+fn dispatch(stream: &mut TcpStream, state: &ServeState, peer: &str) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let req = match read_request(&stream) {
+    let req = match read_request(stream) {
         Ok(r) => r,
-        Err(e) => return respond(&mut stream, 400, "text/plain", &format!("bad request: {e}\n")),
+        Err(e) => {
+            let (code, what) = match e.kind() {
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => (408, "read timed out"),
+                io::ErrorKind::InvalidInput => (413, "oversized request"),
+                _ => (400, "malformed request"),
+            };
+            eprintln!("eend-serve: {peer}: {what}: {e}");
+            return respond(stream, code, "text/plain", &format!("bad request: {e}\n"));
+        }
     };
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", []) => respond(&mut stream, 200, "text/plain", "eend-serve\n"),
+        ("GET", []) => respond(stream, 200, "text/plain", "eend-serve\n"),
         ("POST", ["submit"]) => match submit_impl(state, &req.body) {
-            Ok(json) => respond(&mut stream, 200, "application/json", &json),
-            Err(e) => respond(&mut stream, 400, "text/plain", &format!("error: {e}\n")),
+            Ok(json) => respond(stream, 200, "application/json", &json),
+            Err(e) => {
+                eprintln!("eend-serve: {peer}: rejected submit: {e}");
+                respond(stream, 400, "text/plain", &format!("error: {e}\n"))
+            }
         },
-        ("GET", ["status", fp_hex]) => with_campaign(state, fp_hex, &mut stream, |entry, s| {
-            let (done, phase, error) = {
+        ("GET", ["status", fp_hex]) => with_campaign(state, fp_hex, stream, |entry, s| {
+            let (done, failed, phase, error) = {
                 let p = entry.progress.lock().expect("progress lock poisoned");
-                (p.done, p.phase, p.error.clone())
+                (p.done, p.failed, p.phase, p.error.clone())
             };
             let json = format!(
-                "{{\"fingerprint\":\"{:016x}\",\"total\":{},\"done\":{done},\
+                "{{\"fingerprint\":\"{:016x}\",\"total\":{},\"done\":{done},\"failed\":{failed},\
                  \"state\":{},\"error\":{},\"executed\":{}}}\n",
                 entry.fingerprint,
                 entry.jobs.len(),
-                json_str(state_name(done, entry.jobs.len(), phase)),
+                json_str(state_name(done, entry.jobs.len(), phase, error.is_some())),
                 error.as_deref().map(json_str).unwrap_or_else(|| "null".to_owned()),
                 state.jobs_executed.load(Ordering::SeqCst)
             );
@@ -456,33 +597,31 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) -> io::Result<()
             let from = match req.query_get("from").map(str::parse::<usize>) {
                 None => 0,
                 Some(Ok(v)) => v,
-                Some(Err(_)) => {
-                    return respond(&mut stream, 400, "text/plain", "error: bad from=\n")
-                }
+                Some(Err(_)) => return respond(stream, 400, "text/plain", "error: bad from=\n"),
             };
             let csv = match req.query_get("format") {
                 None | Some("jsonl") => false,
                 Some("csv") => true,
                 Some(other) => {
                     return respond(
-                        &mut stream,
+                        stream,
                         400,
                         "text/plain",
                         &format!("error: unknown format {other:?}\n"),
                     )
                 }
             };
-            with_campaign(state, fp_hex, &mut stream, |entry, s| {
+            with_campaign(state, fp_hex, stream, |entry, s| {
                 stream_records(state, &entry, from, csv, s)
             })
         }
-        ("GET", ["aggregate", fp_hex]) => with_campaign(state, fp_hex, &mut stream, |entry, s| {
+        ("GET", ["aggregate", fp_hex]) => with_campaign(state, fp_hex, stream, |entry, s| {
             match aggregate_impl(&entry) {
                 Ok(body) => respond(s, 200, "application/x-ndjson", &body),
                 Err(e) => respond(s, 409, "text/plain", &format!("error: {e}\n")),
             }
         }),
-        _ => respond(&mut stream, 404, "text/plain", "no such endpoint\n"),
+        _ => respond(stream, 404, "text/plain", "no such endpoint\n"),
     }
 }
 
@@ -509,13 +648,14 @@ fn with_campaign(
     }
 }
 
-fn state_name(done: usize, total: usize, phase: Phase) -> &'static str {
+fn state_name(done: usize, total: usize, phase: Phase, has_error: bool) -> &'static str {
     if done >= total {
         return "done";
     }
     match phase {
         Phase::Queued => "queued",
         Phase::Running => "running",
+        Phase::Idle if has_error => "failed",
         Phase::Idle => "partial",
     }
 }
@@ -534,7 +674,16 @@ fn submit_impl(state: &ServeState, body: &str) -> io::Result<String> {
     if spec.job_count() == 0 {
         return Err(bad_req("spec expands to zero jobs (no stacks?)"));
     }
-    let entry = register(state, spec)?;
+    let policy = match v.get_opt("on_failure")? {
+        None | Some(JVal::Null) => None,
+        Some(p) => {
+            let label = p.str()?;
+            Some(FailurePolicy::parse(label).ok_or_else(|| {
+                bad_req(format!("bad on_failure {label:?} (expected abort|skip|retry=N)"))
+            })?)
+        }
+    };
+    let entry = register(state, spec, policy)?;
     let (done, phase) = maybe_enqueue(state, &entry);
     let total = entry.jobs.len();
     Ok(format!(
@@ -542,7 +691,7 @@ fn submit_impl(state: &ServeState, body: &str) -> io::Result<String> {
          \"cached\":{},\"state\":{}}}\n",
         entry.fingerprint,
         done >= total,
-        json_str(state_name(done, total, phase))
+        json_str(state_name(done, total, phase, false))
     ))
 }
 
@@ -588,16 +737,22 @@ fn stream_records(
                 p = guard;
             }
         }
-        let reader = match reader.as_mut() {
-            Some(r) => r,
-            None => {
-                reader = Some(BufReader::new(File::open(entry.dir.join(RECORDS_FILE))?));
-                reader.as_mut().expect("just set")
-            }
-        };
+        if reader.is_none() {
+            reader = Some(BufReader::new(File::open(entry.dir.join(RECORDS_FILE))?));
+        }
+        // A store resuming past contained failures appends gap-filling
+        // records out of id order and compacts afterwards; one rescan
+        // from the top of the (possibly fresh, compacted) file per
+        // wanted record absorbs that window.
+        let mut rescanned = false;
         loop {
             line.clear();
-            if reader.read_line(&mut line)? == 0 {
+            if reader.as_mut().expect("reader set above").read_line(&mut line)? == 0 {
+                if !rescanned {
+                    rescanned = true;
+                    reader = Some(BufReader::new(File::open(entry.dir.join(RECORDS_FILE))?));
+                    continue;
+                }
                 return Err(io::Error::other(format!(
                     "record {i} is marked durable but {} ended early",
                     entry.dir.join(RECORDS_FILE).display()
@@ -613,6 +768,11 @@ fn stream_records(
                 continue; // skipping the prefix a ?from= reconnect already has
             }
             if id != i {
+                if !rescanned {
+                    rescanned = true;
+                    reader = Some(BufReader::new(File::open(entry.dir.join(RECORDS_FILE))?));
+                    continue;
+                }
                 return Err(io::Error::other(format!(
                     "records out of order: wanted job {i}, found job {id}"
                 )));
@@ -630,6 +790,9 @@ fn stream_records(
             }
             stream.write_all(row.as_bytes())?;
             stream.flush()?;
+            // Chaos hook: drop the connection after the Nth streamed
+            // row, as if the subscriber's network died mid-stream.
+            eend_fail::io_guard("serve.conn")?;
             break;
         }
     }

@@ -94,6 +94,10 @@ impl<W: Write> CsvSink<W> {
 
 impl<W: Write> RecordSink for CsvSink<W> {
     fn accept(&mut self, record: &Record) -> io::Result<()> {
+        // Chaos hook: the Kth emitted row errors. Emission happens on
+        // the consumer thread in job order, so the count is
+        // deterministic under any worker count.
+        eend_fail::io_guard("sink.emit")?;
         self.ensure_header()?;
         let mut line = String::new();
         csv_row_into(&mut line, &self.campaign, record);
@@ -101,6 +105,7 @@ impl<W: Write> RecordSink for CsvSink<W> {
     }
 
     fn finish(&mut self) -> io::Result<()> {
+        eend_fail::io_guard("sink.finish")?;
         // An empty campaign still gets its header, like to_csv().
         self.ensure_header()?;
         self.w.flush()
@@ -130,6 +135,7 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> RecordSink for JsonlSink<W> {
     fn accept(&mut self, record: &Record) -> io::Result<()> {
+        eend_fail::io_guard("sink.emit")?;
         let mut line = String::new();
         json_row_into(&mut line, &self.campaign, record);
         line.push('\n');
@@ -137,6 +143,7 @@ impl<W: Write> RecordSink for JsonlSink<W> {
     }
 
     fn finish(&mut self) -> io::Result<()> {
+        eend_fail::io_guard("sink.finish")?;
         self.w.flush()
     }
 }

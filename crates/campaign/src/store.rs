@@ -30,7 +30,7 @@
 //! grid — the path `eend-cli campaign merge --csv` and the serve
 //! daemon's aggregate endpoint run on.
 
-use crate::executor::Executor;
+use crate::executor::{Executor, FailurePolicy, JobFailure};
 use crate::report::{json_num, json_str, CampaignResult, Record};
 use crate::sink::RecordSink;
 use crate::spec::{BaseScenario, CampaignSpec, FailurePlan, Job};
@@ -40,13 +40,54 @@ use eend_wireless::{stacks, RunMetrics};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Manifest file name inside a store directory.
 const MANIFEST_FILE: &str = "manifest.json";
 /// Record shard file name inside a store directory.
 pub(crate) const RECORDS_FILE: &str = "records.jsonl";
+/// Contained-job-failure log inside a store directory.
+pub(crate) const FAILURES_FILE: &str = "failures.jsonl";
+
+/// Writes `bytes` to `path` atomically: a unique temp sibling, flushed
+/// and synced, then renamed over the destination, followed by a
+/// best-effort fsync of the containing directory so the rename itself
+/// survives a crash. Readers never observe a half-written file — they
+/// see the old content or the new, so a kill mid-write can no longer
+/// strand a torn `manifest.json` (or bench record) on disk.
+///
+/// Failpoints: `fs.write` (before the temp file is written) and
+/// `fs.rename` (after the temp file is durable, before the rename).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| bad_data(format!("cannot atomically write to {}", path.display())))?;
+    let tmp = dir.join(format!(".{}.tmp-{}", file_name.to_string_lossy(), std::process::id()));
+    let res = (|| {
+        eend_fail::io_guard("fs.write")?;
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        eend_fail::io_guard("fs.rename")?;
+        std::fs::rename(&tmp, path)?;
+        // Not every platform allows opening a directory for sync; the
+        // rename is already atomic, this only hardens against power loss.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if res.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    res
+}
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -390,6 +431,12 @@ pub struct Manifest {
     pub shard_count: usize,
     /// CLI-expressible axes, when the campaign has them.
     pub axes: Option<SpecAxes>,
+    /// The [`FailurePolicy`] label this store runs under (`None` =
+    /// abort, the default). Stored beside the axes so a *resumed*
+    /// campaign keeps the policy it was launched with; not part of the
+    /// store's identity, so re-opening with a different policy updates
+    /// the manifest instead of refusing.
+    pub on_failure: Option<String>,
 }
 
 impl Manifest {
@@ -405,7 +452,17 @@ impl Manifest {
             shard_index: index,
             shard_count: count,
             axes: SpecAxes::of(spec),
+            on_failure: None,
         }
+    }
+
+    /// The failure policy this manifest records (absent or unparsable
+    /// labels mean the default, [`FailurePolicy::Abort`]).
+    pub fn policy(&self) -> FailurePolicy {
+        self.on_failure
+            .as_deref()
+            .and_then(FailurePolicy::parse)
+            .unwrap_or(FailurePolicy::Abort)
     }
 
     fn to_json(&self) -> String {
@@ -420,6 +477,12 @@ impl Manifest {
             self.shard_index,
             self.shard_count
         );
+        match &self.on_failure {
+            None => s.push_str(",\"on_failure\":null"),
+            Some(p) => {
+                let _ = write!(s, ",\"on_failure\":{}", json_str(p));
+            }
+        }
         match &self.axes {
             None => s.push_str(",\"axes\":null"),
             Some(a) => {
@@ -450,6 +513,12 @@ impl Manifest {
             JVal::Null => None,
             a => Some(SpecAxes::from_jval(a)?),
         };
+        // Optional: version-2 manifests written before failure policies
+        // existed simply lack the key, which means abort (the default).
+        let on_failure = match v.get_opt("on_failure")? {
+            None | Some(JVal::Null) => None,
+            Some(p) => Some(p.str()?.to_owned()),
+        };
         Ok(Manifest {
             campaign: v.get("campaign")?.str()?.to_owned(),
             fingerprint,
@@ -457,6 +526,7 @@ impl Manifest {
             shard_index: v.get("shard_index")?.usize()?,
             shard_count: v.get("shard_count")?.usize()?,
             axes,
+            on_failure,
         })
     }
 }
@@ -470,6 +540,7 @@ pub struct ResultStore {
     dir: PathBuf,
     manifest: Manifest,
     completed: BTreeSet<usize>,
+    failures: BTreeMap<usize, JobFailure>,
 }
 
 impl ResultStore {
@@ -483,12 +554,12 @@ impl ResultStore {
     /// different spec would silently mix incompatible records.
     /// Completed job ids are recovered from `records.jsonl`; a partial
     /// trailing line (the footprint of a killed process) is ignored.
-    pub fn open(dir: impl AsRef<Path>, manifest: Manifest) -> io::Result<ResultStore> {
+    pub fn open(dir: impl AsRef<Path>, mut manifest: Manifest) -> io::Result<ResultStore> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let manifest_path = dir.join(MANIFEST_FILE);
         if manifest_path.exists() {
-            let existing = Manifest::from_json(&std::fs::read_to_string(&manifest_path)?)?;
+            let existing = read_manifest(&manifest_path)?;
             if existing.fingerprint != manifest.fingerprint
                 || existing.total_jobs != manifest.total_jobs
                 || existing.shard_index != manifest.shard_index
@@ -512,11 +583,22 @@ impl ResultStore {
                     manifest.shard_count,
                 )));
             }
+            // The failure policy is *state*, not identity: an explicit
+            // policy on this open wins (and is persisted for the next
+            // resume); `None` inherits whatever the store already runs
+            // under.
+            let effective = manifest.on_failure.clone().or_else(|| existing.on_failure.clone());
+            manifest.on_failure = effective;
+            if manifest.on_failure != existing.on_failure {
+                write_atomic(&manifest_path, manifest.to_json().as_bytes())?;
+            }
         } else {
-            std::fs::write(&manifest_path, manifest.to_json())?;
+            write_atomic(&manifest_path, manifest.to_json().as_bytes())?;
         }
-        let mut store = ResultStore { dir, manifest, completed: BTreeSet::new() };
+        let mut store =
+            ResultStore { dir, manifest, completed: BTreeSet::new(), failures: BTreeMap::new() };
         store.scan_completed()?;
+        store.scan_failures()?;
         Ok(store)
     }
 
@@ -526,12 +608,11 @@ impl ResultStore {
     /// is known — it cross-checks the fingerprint.
     pub fn open_existing(dir: impl AsRef<Path>) -> io::Result<ResultStore> {
         let dir = dir.as_ref().to_path_buf();
-        let manifest_path = dir.join(MANIFEST_FILE);
-        let manifest = Manifest::from_json(&std::fs::read_to_string(&manifest_path).map_err(
-            |e| io::Error::new(e.kind(), format!("no store manifest at {}: {e}", manifest_path.display())),
-        )?)?;
-        let mut store = ResultStore { dir, manifest, completed: BTreeSet::new() };
+        let manifest = read_manifest(&dir.join(MANIFEST_FILE))?;
+        let mut store =
+            ResultStore { dir, manifest, completed: BTreeSet::new(), failures: BTreeMap::new() };
         store.scan_completed()?;
+        store.scan_failures()?;
         Ok(store)
     }
 
@@ -548,6 +629,20 @@ impl ResultStore {
     /// Global job ids with durable records.
     pub fn completed(&self) -> &BTreeSet<usize> {
         &self.completed
+    }
+
+    /// Contained job failures recorded in `failures.jsonl`, keyed by
+    /// global job id. A failed job has no record, so it stays
+    /// [`ResultStore::pending`] — resuming re-attempts exactly these;
+    /// entries whose job has since completed are pruned on open.
+    pub fn failures(&self) -> &BTreeMap<usize, JobFailure> {
+        &self.failures
+    }
+
+    /// The failure policy this store runs under (from its manifest;
+    /// absent means [`FailurePolicy::Abort`]).
+    pub fn policy(&self) -> FailurePolicy {
+        self.manifest.policy()
     }
 
     /// Re-scans `records.jsonl` for completed job ids. Unparsable
@@ -613,6 +708,62 @@ impl ResultStore {
         Ok(())
     }
 
+    /// Re-scans `failures.jsonl` for contained job failures. The file
+    /// is an append-only log: a job may appear several times across
+    /// interrupted runs (the last entry wins), and entries for jobs
+    /// that have since completed are stale and dropped. Like the record
+    /// scan, an unparsable *final* line is the torn tail of a killed
+    /// writer and is truncated away; earlier corruption is an error.
+    fn scan_failures(&mut self) -> io::Result<()> {
+        self.failures.clear();
+        let path = self.dir.join(FAILURES_FILE);
+        if !path.exists() {
+            return Ok(());
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let lines: Vec<&str> = text.split('\n').collect();
+        let mut good_bytes = 0u64;
+        for (li, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                good_bytes += line.len() as u64 + 1;
+                continue;
+            }
+            let torn_tail = li + 1 == lines.len();
+            let parsed = parse_json(line).and_then(|v| {
+                Ok(JobFailure {
+                    job_id: v.get("job")?.usize()?,
+                    attempts: v.get("attempts")?.u64()? as u32,
+                    cause: v.get("cause")?.str()?.to_owned(),
+                })
+            });
+            match parsed {
+                Ok(f) => {
+                    if torn_tail {
+                        // Complete entry, missing only its newline:
+                        // restore the terminator so the next append
+                        // starts on a fresh line.
+                        OpenOptions::new().append(true).open(&path)?.write_all(b"\n")?;
+                    }
+                    self.failures.insert(f.job_id, f);
+                    good_bytes += line.len() as u64 + 1;
+                }
+                Err(_) if torn_tail => {
+                    OpenOptions::new().write(true).open(&path)?.set_len(good_bytes)?;
+                }
+                Err(e) => {
+                    return Err(bad_data(format!(
+                        "corrupt failure line {} in {}: {e}",
+                        li + 1,
+                        path.display()
+                    )))
+                }
+            }
+        }
+        let completed = &self.completed;
+        self.failures.retain(|id, _| !completed.contains(id));
+        Ok(())
+    }
+
     /// This shard's jobs that still lack a durable record, in job order.
     pub fn pending(&self, shard_jobs: &[Job]) -> Vec<Job> {
         shard_jobs.iter().filter(|j| !self.completed.contains(&j.index)).cloned().collect()
@@ -652,8 +803,38 @@ impl ResultStore {
         executor: &Executor,
         shard_jobs: &[Job],
         limit: Option<usize>,
-        mut observe: impl FnMut(usize),
+        observe: impl FnMut(usize),
     ) -> io::Result<usize> {
+        let opts = RunOptions { limit, policy: self.policy(), cancel: None };
+        let outcome = self.run_with(executor, shard_jobs, &opts, observe)?;
+        Ok(outcome.ran + outcome.failed)
+    }
+
+    /// The policy-aware run path under [`ResultStore::run`] /
+    /// [`ResultStore::run_observed`]: simulates this shard's missing
+    /// jobs under `opts.policy`, appending each record durably in job
+    /// order, logging contained failures to `failures.jsonl`, and
+    /// honouring a cooperative cancel flag — when `opts.cancel` goes
+    /// high, the in-flight durable record is finished, no further jobs
+    /// are claimed, and the call returns cleanly with
+    /// [`RunOutcome::cancelled`] set (resuming later runs exactly the
+    /// remainder).
+    ///
+    /// A run that re-attempts an earlier session's recorded failures
+    /// appends their records out of id order; it compacts
+    /// `records.jsonl` back to ascending ids before returning, so the
+    /// streaming merge's order invariant holds for every finished run.
+    ///
+    /// Failpoints: `store.flush` (per record append, hit-counted),
+    /// `store.bookkeep` (between a record's durable append and its
+    /// in-memory bookkeeping, matched on the job id).
+    pub fn run_with(
+        &mut self,
+        executor: &Executor,
+        shard_jobs: &[Job],
+        opts: &RunOptions<'_>,
+        mut observe: impl FnMut(usize),
+    ) -> io::Result<RunOutcome> {
         let (idx, cnt) = (self.manifest.shard_index, self.manifest.shard_count);
         for j in shard_jobs {
             if j.index % cnt != idx {
@@ -664,26 +845,121 @@ impl ResultStore {
             }
         }
         let mut todo = self.pending(shard_jobs);
-        if let Some(limit) = limit {
+        if let Some(limit) = opts.limit {
             todo.truncate(limit);
         }
         if todo.is_empty() {
-            return Ok(0);
+            return Ok(RunOutcome { ran: 0, failed: 0, cancelled: false });
         }
-        let file = OpenOptions::new()
+        // Re-attempting a job that a *previous* session recorded as
+        // failed appends its record after later jobs' records. Readers
+        // (streaming merge, the serve tailer) rely on ascending ids, so
+        // such a run compacts the file back into id order afterwards.
+        let fills_gap = self
+            .completed
+            .iter()
+            .next_back()
+            .is_some_and(|max| todo.first().is_some_and(|j| j.index < *max));
+        let mut file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(self.dir.join(RECORDS_FILE))?;
-        let ids: Vec<usize> = todo.iter().map(|j| j.index).collect();
-        let mut sink = StoreSink {
-            w: BufWriter::new(file),
-            ids: &ids,
-            cursor: 0,
-            completed: &mut self.completed,
-            observe: &mut observe,
+        // The last byte offset known to end on a complete record: a
+        // failed append truncates back here before any retry, so a
+        // partial write can never corrupt an interior line.
+        let mut good_len = file.metadata()?.len();
+        let failures_path = self.dir.join(FAILURES_FILE);
+        // Opened lazily: a fault-free campaign never creates the file.
+        let mut failures_file: Option<File> = None;
+        let completed = &mut self.completed;
+        let failures = &mut self.failures;
+        let mut line = String::new();
+        let mut ran = 0usize;
+        let mut failed = 0usize;
+        let cancelled = std::cell::Cell::new(false);
+        let cancel_after = |cancelled: &std::cell::Cell<bool>| -> io::Result<()> {
+            if opts.cancel.is_some_and(|c| c.load(Ordering::SeqCst)) {
+                cancelled.set(true);
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "shutdown requested"));
+            }
+            Ok(())
         };
-        executor.run_streaming(&todo, &mut sink)?;
-        Ok(ids.len())
+        let result = executor.run_streaming_policy(
+            &todo,
+            executor.default_window(),
+            &opts.policy,
+            |i, record| {
+                let id = todo[i].index;
+                line.clear();
+                record_line_into(&mut line, id, record);
+                append_durable(&mut file, &mut good_len, line.as_bytes(), &opts.policy)?;
+                // Chaos hook: a kill landing *between* the durable
+                // record and the bookkeeping that follows it.
+                eend_fail::io_guard_at("store.bookkeep", id as u64)?;
+                completed.insert(id);
+                ran += 1;
+                observe(id);
+                cancel_after(&cancelled)
+            },
+            |f| {
+                let fw = match failures_file.as_mut() {
+                    Some(fw) => fw,
+                    None => failures_file.insert(
+                        OpenOptions::new().create(true).append(true).open(&failures_path)?,
+                    ),
+                };
+                // Failures are rare: a fresh buffer beats sharing the
+                // record buffer across both closures.
+                let mut fl = String::new();
+                let _ = writeln!(
+                    fl,
+                    "{{\"job\":{},\"attempts\":{},\"cause\":{}}}",
+                    f.job_id,
+                    f.attempts,
+                    json_str(&f.cause)
+                );
+                fw.write_all(fl.as_bytes())?;
+                failures.insert(f.job_id, f.clone());
+                failed += 1;
+                cancel_after(&cancelled)
+            },
+        );
+        // A job that failed in an earlier session and succeeded in this
+        // one leaves a stale failure entry; prune as open() would.
+        let completed = &self.completed;
+        self.failures.retain(|id, _| !completed.contains(id));
+        drop(file);
+        if fills_gap && ran > 0 && (result.is_ok() || cancelled.get()) {
+            self.compact_records()?;
+        }
+        match result {
+            Ok(()) => Ok(RunOutcome { ran, failed, cancelled: false }),
+            Err(_) if cancelled.get() => Ok(RunOutcome { ran, failed, cancelled: true }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Rewrites `records.jsonl` in ascending job-id order (atomically,
+    /// temp + rename). Only needed after a run that filled a gap left
+    /// by an earlier session's contained failure; fault-free stores are
+    /// always appended in order and never pay this.
+    fn compact_records(&self) -> io::Result<()> {
+        let path = self.dir.join(RECORDS_FILE);
+        let text = std::fs::read_to_string(&path)?;
+        let mut entries: Vec<(usize, &str)> = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            entries.push((parse_json(line)?.get("job")?.usize()?, line));
+        }
+        entries.sort_by_key(|(id, _)| *id);
+        let mut out = String::with_capacity(text.len());
+        for (_, line) in entries {
+            out.push_str(line);
+            out.push('\n');
+        }
+        write_atomic(&path, out.as_bytes())
     }
 
     /// Loads every durable record's metrics, keyed by global job id.
@@ -753,32 +1029,84 @@ impl ResultStore {
     }
 }
 
-/// The sink [`ResultStore::run`] streams into: appends one JSONL record
-/// per job (flushing each, so a kill loses at most a partial line) and
-/// marks the id completed.
-struct StoreSink<'a> {
-    w: BufWriter<File>,
-    ids: &'a [usize],
-    cursor: usize,
-    completed: &'a mut BTreeSet<usize>,
-    observe: &'a mut dyn FnMut(usize),
+/// Options for [`ResultStore::run_with`].
+#[derive(Debug, Default)]
+pub struct RunOptions<'a> {
+    /// Cap on how many pending jobs run (used by the resume smoke test
+    /// to simulate an interruption deterministically).
+    pub limit: Option<usize>,
+    /// What a panicking job does to the run (and how many attempts a
+    /// failing record append gets).
+    pub policy: FailurePolicy,
+    /// Cooperative cancellation: checked after every durable record, so
+    /// a graceful shutdown finishes the in-flight record and stops.
+    pub cancel: Option<&'a AtomicBool>,
 }
 
-impl RecordSink for StoreSink<'_> {
-    fn accept(&mut self, record: &Record) -> io::Result<()> {
-        let id = self.ids[self.cursor];
-        self.cursor += 1;
-        let mut line = String::new();
-        record_line_into(&mut line, id, record);
-        self.w.write_all(line.as_bytes())?;
-        self.w.flush()?;
-        self.completed.insert(id);
-        (self.observe)(id);
-        Ok(())
-    }
+/// What a [`ResultStore::run_with`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Jobs whose records were appended durably.
+    pub ran: usize,
+    /// Jobs whose panics the policy contained (logged to
+    /// `failures.jsonl`; still pending for the next resume).
+    pub failed: usize,
+    /// The run stopped early because the cancel flag went high.
+    pub cancelled: bool,
+}
 
-    fn finish(&mut self) -> io::Result<()> {
-        self.w.flush()
+/// Reads and parses a store manifest, labelling unreadable content as
+/// the probably-torn artefact it is rather than a bare parse error.
+/// (New manifests are written via [`write_atomic`], so a torn manifest
+/// means an older writer or a non-atomic filesystem was involved.)
+fn read_manifest(path: &Path) -> io::Result<Manifest> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        io::Error::new(e.kind(), format!("no store manifest at {}: {e}", path.display()))
+    })?;
+    Manifest::from_json(&text).map_err(|e| {
+        bad_data(format!(
+            "store manifest at {} is unreadable: {e} — if this store was written by an \
+             older build the manifest may be a torn write from a killed process; \
+             re-create the store or restore the manifest from its shard peers",
+            path.display()
+        ))
+    })
+}
+
+/// Appends one pre-rendered record line, retrying transient write
+/// errors when `policy` allows and truncating the file back to
+/// `good_len` before every retry so a partial append never corrupts an
+/// interior line (the resume scan refuses interior corruption).
+/// Failpoint: `store.flush`, hit-counted per append attempt.
+fn append_durable(
+    file: &mut File,
+    good_len: &mut u64,
+    bytes: &[u8],
+    policy: &FailurePolicy,
+) -> io::Result<()> {
+    let attempts = policy.attempts();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let res = eend_fail::io_guard("store.flush").and_then(|()| file.write_all(bytes));
+        match res {
+            Ok(()) => {
+                *good_len += bytes.len() as u64;
+                return Ok(());
+            }
+            Err(e) => {
+                // Roll back whatever partial bytes the failed attempt
+                // may have landed.
+                file.set_len(*good_len)?;
+                if attempt >= attempts {
+                    return Err(e);
+                }
+                let delay = policy.backoff_delay(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
     }
 }
 
@@ -1161,6 +1489,15 @@ impl JVal {
             .ok_or_else(|| bad_data(format!("missing key {key:?}")))
     }
 
+    /// Like [`JVal::get`], but a missing key reads as `None` (for keys
+    /// added after files in the wild were written).
+    pub(crate) fn get_opt(&self, key: &str) -> io::Result<Option<&JVal>> {
+        let JVal::Obj(pairs) = self else {
+            return Err(bad_data(format!("expected object with {key:?}, got {}", self.type_name())));
+        };
+        Ok(pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
     pub(crate) fn str(&self) -> io::Result<&str> {
         match self {
             JVal::Str(s) => Ok(s),
@@ -1514,6 +1851,23 @@ mod tests {
         let mut no_axes = Manifest::for_spec(&spec, 0, 1);
         no_axes.axes = None;
         assert_eq!(Manifest::from_json(&no_axes.to_json()).unwrap(), no_axes);
+
+        let mut with_policy = Manifest::for_spec(&spec, 0, 1);
+        with_policy.on_failure = Some("retry=3".to_owned());
+        let back = Manifest::from_json(&with_policy.to_json()).unwrap();
+        assert_eq!(back, with_policy);
+        assert_eq!(back.policy(), FailurePolicy::retry(3));
+    }
+
+    #[test]
+    fn manifests_without_a_policy_key_read_as_abort() {
+        // Version-2 manifests written before PR 8 lack "on_failure":
+        // they must still load, defaulting to the abort policy.
+        let pre_pr8 = r#"{"version":2,"campaign":"old","fingerprint":"00000000000000aa",
+            "total_jobs":4,"shard_index":0,"shard_count":1,"axes":null}"#;
+        let m = Manifest::from_json(pre_pr8).unwrap();
+        assert_eq!(m.on_failure, None);
+        assert_eq!(m.policy(), FailurePolicy::Abort);
     }
 
     #[test]

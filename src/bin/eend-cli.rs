@@ -25,6 +25,7 @@
 //!                   [--seeds N] [--seed-base N] [--secs S | --full-secs]
 //!                   [--workers N] [--csv | --json] [--verify-serial]
 //!                   [--out DIR] [--shard I/N] [--limit N]
+//!                   [--on-failure abort|skip|retry=N]
 //! ```
 //!
 //! `--traffic` sweeps the packet-arrival process at a fixed offered
@@ -54,6 +55,14 @@
 //!
 //! `--limit N` stops after N pending jobs (handy for testing resume).
 //!
+//! `--on-failure` (with `--out`) contains job failures instead of
+//! aborting the campaign: `skip` records each failed job durably in the
+//! store's `failures.jsonl` and keeps going; `retry=N` re-attempts a
+//! failing job up to N times with deterministic exponential backoff
+//! before recording it. The policy persists in `manifest.json`, so a
+//! resumed store re-attempts exactly the recorded failures under the
+//! same policy.
+//!
 //! Bench mode — the end-to-end performance measurement behind the
 //! `BENCH_*.json` perf records and the `perf-smoke` CI job. Runs the
 //! [`eend::wireless::presets::mobility_bench`] presets (50/100/200-node
@@ -62,8 +71,12 @@
 //!
 //! ```text
 //! eend-cli bench [--runs N] [--workers W] [--nodes 50,100,200] [--json]
-//!                [--check BENCH_FILE] [--tolerance 0.30]
+//!                [--json-out FILE] [--check BENCH_FILE] [--tolerance 0.30]
 //! ```
+//!
+//! `--json-out FILE` writes the same JSON record to FILE atomically
+//! (temp sibling + rename) so a crash mid-write never leaves a torn
+//! perf record.
 //!
 //! `--check` compares the measured runs/sec of every preset against the
 //! `"current"` section of a committed perf record and exits non-zero on
@@ -71,8 +84,8 @@
 
 use eend::campaign::store::Manifest;
 use eend::campaign::{
-    merge_stores, merge_stores_streaming, BaseScenario, CampaignResult, CampaignSpec, CsvSink,
-    Executor, FailurePlan, ResultStore,
+    merge_stores, merge_stores_streaming, write_atomic, BaseScenario, CampaignResult,
+    CampaignSpec, CsvSink, Executor, FailurePlan, FailurePolicy, ResultStore, RunOptions,
 };
 use eend::radio::cards;
 use eend::sim::SimDuration;
@@ -189,6 +202,7 @@ struct CampaignOpts {
     out: Option<String>,
     shard: (usize, usize),
     limit: Option<usize>,
+    on_failure: Option<FailurePolicy>,
 }
 
 fn campaign_usage() -> ! {
@@ -202,6 +216,7 @@ fn campaign_usage() -> ! {
          \u{20}                        [--seeds N] [--seed-base N] [--secs S | --full-secs]\n\
          \u{20}                        [--workers N] [--csv | --json] [--verify-serial]\n\
          \u{20}                        [--out DIR] [--shard I/N] [--limit N]\n\
+         \u{20}                        [--on-failure abort|skip|retry=N]\n\
          \u{20}      eend-cli campaign merge DIR1 DIR2 ... [--csv | --json]\n\
          defaults: small preset, TITAN-PC/DSR-ODPM-PC/DSR-ODPM/DSR-Active,\n\
          rates 2,4,6 Kbit/s, 4 seeds, 60 s — a 48-job grid.\n\
@@ -212,7 +227,10 @@ fn campaign_usage() -> ! {
          --out DIR streams records into a resumable on-disk store; re-running\n\
          \u{20} the same campaign skips completed jobs. --shard I/N runs only\n\
          \u{20} shard I of N (merge the shard stores afterwards); --limit N stops\n\
-         \u{20} after N pending jobs."
+         \u{20} after N pending jobs. --on-failure (with --out) contains job\n\
+         \u{20} failures: skip records them in failures.jsonl and keeps going,\n\
+         \u{20} retry=N re-attempts with exponential backoff first; the store\n\
+         \u{20} remembers the policy, and resuming re-attempts recorded failures."
     );
     std::process::exit(2)
 }
@@ -305,6 +323,7 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
         out: None,
         shard: (0, 1),
         limit: None,
+        on_failure: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -395,6 +414,13 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
             "--limit" => {
                 o.limit = Some(val("--limit").parse().unwrap_or_else(|_| campaign_usage()))
             }
+            "--on-failure" => {
+                let raw = val("--on-failure");
+                o.on_failure = Some(FailurePolicy::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("error: bad --on-failure {raw:?} (want abort, skip, or retry=N)");
+                    campaign_usage()
+                }))
+            }
             "--help" | "-h" => campaign_usage(),
             other => {
                 eprintln!("error: unknown campaign argument {other}");
@@ -408,6 +434,10 @@ fn parse_campaign(args: impl Iterator<Item = String>) -> CampaignOpts {
     }
     if (o.shard != (0, 1) || o.limit.is_some()) && o.out.is_none() {
         eprintln!("error: --shard and --limit need an on-disk store (--out DIR)");
+        campaign_usage()
+    }
+    if o.on_failure.is_some() && o.out.is_none() {
+        eprintln!("error: --on-failure needs an on-disk store (--out DIR) to record failures");
         campaign_usage()
     }
     if o.out.is_some() && o.verify_serial {
@@ -517,7 +547,10 @@ fn run_campaign(o: CampaignOpts) {
 fn run_campaign_store(o: &CampaignOpts, spec: &CampaignSpec, executor: &Executor, dir: &str) {
     let (si, sc) = o.shard;
     let shard_jobs = if sc > 1 { spec.shard(si, sc) } else { spec.expand() };
-    let manifest = Manifest::for_spec(spec, si, sc);
+    let mut manifest = Manifest::for_spec(spec, si, sc);
+    // An explicit --on-failure is persisted into the manifest; without
+    // the flag the store keeps whatever policy it already recorded.
+    manifest.on_failure = o.on_failure.as_ref().map(|p| p.label());
     let mut store = ResultStore::open(dir, manifest).unwrap_or_else(|e| die(&e));
     let done = shard_jobs.len() - store.pending(&shard_jobs).len();
     eprintln!(
@@ -525,8 +558,17 @@ fn run_campaign_store(o: &CampaignOpts, spec: &CampaignSpec, executor: &Executor
         shard_jobs.len()
     );
     let start = std::time::Instant::now();
-    let ran = store.run(executor, &shard_jobs, o.limit).unwrap_or_else(|e| die(&e));
-    eprintln!("campaign: ran {ran} job(s) in {:.2?}", start.elapsed());
+    let opts = RunOptions { limit: o.limit, policy: store.policy(), cancel: None };
+    let outcome =
+        store.run_with(executor, &shard_jobs, &opts, |_| {}).unwrap_or_else(|e| die(&e));
+    eprintln!("campaign: ran {} job(s) in {:.2?}", outcome.ran, start.elapsed());
+    if outcome.failed > 0 {
+        eprintln!(
+            "campaign: {} job(s) failed — recorded in {dir}/failures.jsonl, \
+             re-run the same command to re-attempt them",
+            outcome.failed
+        );
+    }
     let pending = store.pending(&shard_jobs).len();
     if pending > 0 {
         eprintln!("campaign: {pending} job(s) still pending — re-run the same command to resume");
@@ -759,6 +801,7 @@ struct BenchOpts {
     nodes: Vec<usize>,
     scale: Vec<usize>,
     json: bool,
+    json_out: Option<String>,
     check: Option<String>,
     tolerance: f64,
     allow_missing_presets: bool,
@@ -767,8 +810,11 @@ struct BenchOpts {
 fn bench_usage() -> ! {
     eprintln!(
         "usage: eend-cli bench [--runs N] [--workers W] [--nodes 50,100,200]\n\
-         \u{20}                     [--scale 1k,10k,100k] [--json] [--check BENCH_FILE]\n\
+         \u{20}                     [--scale 1k,10k,100k] [--json] [--json-out FILE]\n\
+         \u{20}                     [--check BENCH_FILE]\n\
          \u{20}                     [--tolerance 0.30] [--allow-missing-presets]\n\
+         \u{20}  --json-out writes the --json record to FILE atomically (temp file\n\
+         \u{20}  + rename), so a killed bench never leaves a torn record behind\n\
          \u{20}  --scale runs the mobility_scale grid presets (1k/10k/100k, or a\n\
          \u{20}  bare grid side length); passing it alone skips the default --nodes set\n\
          \u{20}  --allow-missing-presets lets --check pass when the record gates\n\
@@ -811,6 +857,7 @@ fn parse_bench(args: impl Iterator<Item = String>) -> BenchOpts {
         nodes: Vec::new(),
         scale: Vec::new(),
         json: false,
+        json_out: None,
         check: None,
         tolerance: 0.30,
         allow_missing_presets: false,
@@ -835,6 +882,7 @@ fn parse_bench(args: impl Iterator<Item = String>) -> BenchOpts {
             }
             "--scale" => o.scale = parse_scale_list(&val("--scale")),
             "--json" => o.json = true,
+            "--json-out" => o.json_out = Some(val("--json-out")),
             "--check" => o.check = Some(val("--check")),
             "--tolerance" => {
                 o.tolerance = val("--tolerance").parse().unwrap_or_else(|_| bench_usage())
@@ -948,33 +996,18 @@ fn run_bench(o: BenchOpts) {
         });
     }
 
-    if o.json {
-        println!("{{");
-        println!("  \"schema\": \"eend-bench/1\",");
-        println!("  \"workers\": {},", executor.workers());
-        println!("  \"runs_per_preset\": {},", o.runs);
-        println!("  \"peak_rss_kb\": {},", peak_rss_kb());
-        println!("  \"presets\": [");
-        for (i, r) in results.iter().enumerate() {
-            println!(
-                "    {{\"name\": \"{}\", \"nodes\": {}, \"runs\": {}, \"wall_s\": {:.4}, \
-                 \"runs_per_sec\": {:.2}, \"events_per_sec\": {:.0}, \"events_total\": {}, \
-                 \"delivery_mean\": {:.4}, \"peak_rss_kb\": {}}}{}",
-                r.name,
-                r.nodes,
-                r.runs,
-                r.wall_s,
-                r.runs_per_sec,
-                r.events_per_sec,
-                r.events_total,
-                r.delivery_mean,
-                r.peak_rss_kb,
-                if i + 1 < results.len() { "," } else { "" }
-            );
+    if o.json || o.json_out.is_some() {
+        let record = render_bench_json(&o, &executor, &results);
+        if o.json {
+            print!("{record}");
         }
-        println!("  ]");
-        println!("}}");
-    } else {
+        if let Some(path) = &o.json_out {
+            write_atomic(std::path::Path::new(path), record.as_bytes())
+                .unwrap_or_else(|e| die(&e));
+            eprintln!("bench: wrote {path}");
+        }
+    }
+    if !o.json {
         for r in &results {
             println!(
                 "{:12} {:>7.2} runs/s  {:>12.0} events/s  ({} runs in {:.3} s, delivery {:.3}, \
@@ -989,6 +1022,40 @@ fn run_bench(o: BenchOpts) {
     if let Some(path) = &o.check {
         check_against_record(path, &results, o.tolerance, o.allow_missing_presets);
     }
+}
+
+/// Renders the `eend-bench/1` JSON record — one string, so stdout
+/// (`--json`) and the atomic file write (`--json-out`) share bytes.
+fn render_bench_json(o: &BenchOpts, executor: &Executor, results: &[PresetResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"eend-bench/1\",");
+    let _ = writeln!(out, "  \"workers\": {},", executor.workers());
+    let _ = writeln!(out, "  \"runs_per_preset\": {},", o.runs);
+    let _ = writeln!(out, "  \"peak_rss_kb\": {},", peak_rss_kb());
+    let _ = writeln!(out, "  \"presets\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"runs\": {}, \"wall_s\": {:.4}, \
+             \"runs_per_sec\": {:.2}, \"events_per_sec\": {:.0}, \"events_total\": {}, \
+             \"delivery_mean\": {:.4}, \"peak_rss_kb\": {}}}{}",
+            r.name,
+            r.nodes,
+            r.runs,
+            r.wall_s,
+            r.runs_per_sec,
+            r.events_per_sec,
+            r.events_total,
+            r.delivery_mean,
+            r.peak_rss_kb,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
 }
 
 /// Extracts `(preset name, runs_per_sec)` pairs from the `"current"`

@@ -20,6 +20,7 @@
 //! | [`wireless`] | `eend-wireless` | the packet-level simulator |
 //! | [`stats`] | `eend-stats` | run summaries, 95 % CIs, tables |
 //! | [`campaign`] | `eend-campaign` | scenario-matrix sweeps, bounded executor |
+//! | [`fail`] | `eend-fail` | deterministic failpoints for chaos tests |
 //!
 //! # Quick start
 //!
@@ -40,6 +41,7 @@
 
 pub use eend_campaign as campaign;
 pub use eend_core as core;
+pub use eend_fail as fail;
 pub use eend_graph as graph;
 pub use eend_radio as radio;
 pub use eend_sim as sim;

@@ -9,7 +9,16 @@
 //!    it, running only the missing jobs (kill-resume);
 //! 4. a client dropped mid-stream reconnects with `?from=` and the
 //!    concatenated bodies equal the uninterrupted stream;
-//! 5. `/aggregate` matches the in-memory aggregation cell for cell.
+//! 5. `/aggregate` matches the in-memory aggregation cell for cell;
+//! 6. a graceful shutdown mid-campaign loses nothing: a restarted
+//!    daemon runs only the jobs the first one had not landed durably;
+//! 7. oversized (413) and malformed (400) requests are rejected with
+//!    errors, never by taking the daemon down.
+//!
+//! Failpoint-driven daemon tests (poisoned campaigns, injected
+//! disconnects) live in `tests/serve_chaos.rs` — a separate process,
+//! because the failpoint registry is process-global and the campaigns
+//! here must run fault-free in parallel.
 
 use eend::campaign::serve::{serve, ServeConfig};
 use eend::campaign::store::Manifest;
@@ -83,6 +92,17 @@ fn body(resp: &str) -> &str {
 fn fp_of(json: &str) -> String {
     let at = json.find("\"fingerprint\":\"").expect("fingerprint field") + 15;
     json[at..at + 16].to_owned()
+}
+
+/// The `"done":N` count out of a submit/status body.
+fn done_of(json: &str) -> usize {
+    let at = json.find("\"done\":").expect("done field") + 7;
+    json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("done count")
 }
 
 fn wait_done(addr: SocketAddr, fp: &str) -> String {
@@ -273,6 +293,124 @@ fn dropped_stream_reconnects_with_from_and_loses_nothing() {
     // Reconnect where we left off; nothing is missing, nothing repeats.
     let rest = get(addr, &format!("/stream/{fp}?from=2"));
     assert_eq!(format!("{first_two}{}", body(&rest)), full);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn graceful_shutdown_mid_campaign_resumes_without_rerunning_jobs() {
+    // A wider grid than the other tests so shutdown plausibly lands
+    // mid-campaign; every assertion also holds if the first daemon
+    // happens to finish before the shutdown races it.
+    let spec = CampaignSpec::new("cli", BaseScenario::Small)
+        .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+        .rates(vec![2.0, 4.0, 8.0])
+        .seeds(2)
+        .secs(15);
+    let total = spec.job_count();
+    let expected = Executor::with_workers(1).run(&spec);
+    let data = scratch("shutdown");
+
+    // First daemon: submit, wait for at least one durable record, then
+    // shut down gracefully while the campaign is (likely) mid-run.
+    let first = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = first.addr();
+    let fp = fp_of(body(&post(addr, "/submit", &submit_body(&spec))));
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = get(addr, &format!("/status/{fp}"));
+        if done_of(body(&status)) >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no record ever landed: {status}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Graceful: the in-flight record lands durably, then the runner and
+    // accept threads drain and join.
+    first.shutdown();
+
+    // Second daemon over the same data dir: the resubmission reports
+    // the durable prefix and schedules only the remainder.
+    let second = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = second.addr();
+    let resumed = post(addr, "/submit", &submit_body(&spec));
+    let durable_at_restart = done_of(body(&resumed));
+    assert!(durable_at_restart >= 1, "shutdown lost the durable prefix: {resumed}");
+    wait_done(addr, &fp);
+    assert_eq!(
+        durable_at_restart + second.jobs_executed(),
+        total,
+        "restart must run exactly the missing jobs, not re-run landed ones"
+    );
+
+    // And the full result is still byte-identical to the one-shot run.
+    let csv = get(addr, &format!("/stream/{fp}?format=csv"));
+    assert_eq!(body(&csv), expected.to_csv());
+
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn oversized_and_malformed_requests_get_errors_not_a_dead_daemon() {
+    let data = scratch("harden");
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // A Content-Length past the 1 MiB cap is refused before the body
+    // is ever buffered.
+    let oversized = request(
+        addr,
+        "POST /submit HTTP/1.1\r\nHost: t\r\nContent-Length: 2000000\r\n\r\n",
+    );
+    assert!(oversized.starts_with("HTTP/1.1 413 "), "oversized: {oversized}");
+
+    // An empty request line is a 400, not an unwinding handler thread.
+    let garbage = request(addr, "\r\n");
+    assert!(garbage.starts_with("HTTP/1.1 400 "), "garbage: {garbage}");
+
+    // A submit with an unknown failure policy is rejected up front.
+    let spec = spec();
+    let axes = SpecAxes::of(&spec).unwrap();
+    let bad = post(
+        addr,
+        "/submit",
+        &format!(
+            "{{\"campaign\":\"cli\",\"axes\":{},\"on_failure\":\"sometimes\"}}",
+            axes.to_json()
+        ),
+    );
+    assert!(bad.starts_with("HTTP/1.1 400 "), "bad policy: {bad}");
+    assert!(bad.contains("bad on_failure"), "bad policy: {bad}");
+    assert_eq!(handle.jobs_executed(), 0, "rejected submits must not run jobs");
+
+    // The daemon survived all of it, and a well-formed submit carrying
+    // a failure policy still runs to completion.
+    assert_eq!(body(&get(addr, "/")), "eend-serve\n", "health after abuse");
+    let good = post(
+        addr,
+        "/submit",
+        &format!(
+            "{{\"campaign\":\"cli\",\"axes\":{},\"on_failure\":\"retry=2\"}}",
+            axes.to_json()
+        ),
+    );
+    let fp = fp_of(body(&good));
+    wait_done(addr, &fp);
+    assert_eq!(handle.jobs_executed(), spec.job_count());
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&data);
