@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Deterministic exponential backoff between retry attempts:
@@ -499,6 +499,331 @@ impl Executor {
     }
 }
 
+// ---------------------------------------------------------------------
+// Shared scheduling: many campaigns, one worker pool.
+
+/// Anything that can execute a job list with policy-aware, in-order
+/// streaming delivery — the seam between the result store and the two
+/// execution backends: a private scoped pool per call ([`Executor`]) or
+/// one long-lived pool shared by every concurrent campaign
+/// ([`WorkerPool`]).
+///
+/// Implementations must deliver callbacks **in job-index order on the
+/// calling thread**, exactly like [`Executor::run_streaming_policy`]:
+/// that ordering is what makes every store's `records.jsonl`
+/// byte-identical to a solo serial run no matter how jobs interleave
+/// across campaigns.
+pub trait JobScheduler {
+    /// The worker bound jobs run under.
+    fn workers(&self) -> usize;
+
+    /// The reorder window used when the caller has no preference (same
+    /// shape as [`Executor::default_window`]).
+    fn default_window(&self) -> usize {
+        self.workers() * 4
+    }
+
+    /// Runs every job of `jobs` under `policy`, delivering
+    /// `on_record(i, record)` / `on_failure(failure)` in job-index
+    /// order on the calling thread. The first callback error aborts
+    /// the stream (no further jobs are claimed) and is returned. Under
+    /// [`FailurePolicy::Abort`] a panicking job re-raises on the
+    /// calling thread with its original cause.
+    fn run_jobs_streaming(
+        &self,
+        jobs: &[Job],
+        window: usize,
+        policy: &FailurePolicy,
+        on_record: &mut dyn FnMut(usize, &Record) -> std::io::Result<()>,
+        on_failure: &mut dyn FnMut(&JobFailure) -> std::io::Result<()>,
+    ) -> std::io::Result<()>;
+}
+
+impl JobScheduler for Executor {
+    fn workers(&self) -> usize {
+        Executor::workers(self)
+    }
+
+    fn default_window(&self) -> usize {
+        Executor::default_window(self)
+    }
+
+    fn run_jobs_streaming(
+        &self,
+        jobs: &[Job],
+        window: usize,
+        policy: &FailurePolicy,
+        on_record: &mut dyn FnMut(usize, &Record) -> std::io::Result<()>,
+        on_failure: &mut dyn FnMut(&JobFailure) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        self.run_streaming_policy(jobs, window, policy, on_record, on_failure)
+    }
+}
+
+/// One registered job stream inside the shared pool: a campaign's
+/// pending jobs plus its claim/gate cursors. All fields are guarded by
+/// the pool's single mutex — claims and cursor advances are rare next
+/// to the simulations they schedule.
+struct PoolTask {
+    id: u64,
+    jobs: Arc<Vec<Job>>,
+    policy: FailurePolicy,
+    window: usize,
+    /// Next job index a worker may claim.
+    next_claim: usize,
+    /// The consumer's in-order emission cursor; the claim gate allows
+    /// `next_claim < emitted + window`.
+    emitted: usize,
+    /// Results travel back to the registering consumer thread.
+    tx: mpsc::Sender<(usize, JobOutcome)>,
+}
+
+impl PoolTask {
+    fn claimable(&self) -> bool {
+        self.next_claim < self.jobs.len() && self.next_claim < self.emitted + self.window
+    }
+}
+
+struct PoolState {
+    tasks: Vec<PoolTask>,
+    /// Round-robin cursor: each claim starts scanning at the task after
+    /// the previously claimed one, so runnable campaigns share workers
+    /// per-claim and a huge campaign cannot starve a small one.
+    rr: usize,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    workers: usize,
+    state: Mutex<PoolState>,
+    /// Workers wait here when no task is claimable; notified on task
+    /// registration, emission-cursor advance, task removal, shutdown.
+    work_cv: Condvar,
+}
+
+/// A long-lived, bounded worker pool that multiplexes **every active
+/// campaign** onto one set of OS threads — the daemon's scheduler.
+///
+/// Each [`WorkerPool::run_jobs_streaming`] call registers a *task* (one
+/// campaign's pending jobs). Idle workers claim jobs round-robin across
+/// runnable tasks — one claim, next task — so K runnable campaigns each
+/// get ~1/K of the pool (fair share) and a lone campaign gets all of it
+/// (work conserving). Every task keeps its own claim-gated reorder
+/// window, and results are reassembled **in job-index order on the
+/// registering thread**, so each campaign's durable output is
+/// byte-identical to a solo serial run regardless of interleaving.
+///
+/// Failure isolation: jobs always run under `catch_unwind` on pool
+/// threads. A campaign whose policy is [`FailurePolicy::Abort`]
+/// re-raises the panic on its *own* consumer thread — and the task
+/// deregisters during that unwind, releasing its claim on the pool
+/// immediately (no zombie slots) while other campaigns keep running.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.shared.workers).finish()
+    }
+}
+
+/// Deregisters a task when its consumer leaves `run_jobs_streaming` —
+/// normally, on a callback error, or during an abort-policy unwind —
+/// so the pool stops claiming its jobs the moment the campaign dies.
+struct TaskGuard<'a> {
+    shared: &'a PoolShared,
+    id: u64,
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        let mut s = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        s.tasks.retain(|t| t.id != self.id);
+        drop(s);
+        self.shared.work_cv.notify_all();
+    }
+}
+
+/// Runs one job with *unconditional* containment: on a shared pool even
+/// an abort-policy panic must not kill the worker thread, so the unwind
+/// [`run_job_contained`] re-raises is caught here and carried back to
+/// the owning consumer as data (which re-raises it there).
+fn run_job_sandboxed(job: &Job, policy: &FailurePolicy) -> JobOutcome {
+    match catch_unwind(AssertUnwindSafe(|| run_job_contained(job, policy))) {
+        Ok(outcome) => outcome,
+        Err(payload) => JobOutcome::Failed(JobFailure {
+            job_id: job.index,
+            attempts: 1,
+            cause: panic_cause(payload.as_ref()),
+        }),
+    }
+}
+
+fn pool_worker_loop(shared: &PoolShared) {
+    let mut state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let len = state.tasks.len();
+        let claim = (0..len).map(|off| (state.rr + off) % len.max(1)).find(|&k| state.tasks[k].claimable());
+        let Some(k) = claim else {
+            state = shared.work_cv.wait(state).unwrap_or_else(|p| p.into_inner());
+            continue;
+        };
+        let t = &mut state.tasks[k];
+        let i = t.next_claim;
+        t.next_claim += 1;
+        let (jobs, policy, tx) = (Arc::clone(&t.jobs), t.policy.clone(), t.tx.clone());
+        state.rr = (k + 1) % len;
+        drop(state);
+        let outcome = run_job_sandboxed(&jobs[i], &policy);
+        // A send failure means the consumer is gone (cancelled or
+        // unwound); the task is already deregistered, drop the result.
+        let _ = tx.send((i, outcome));
+        state = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+impl WorkerPool {
+    /// Starts a pool of exactly `workers` threads (clamped to at
+    /// least 1), named `eend-pool-worker`.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            workers,
+            state: Mutex::new(PoolState {
+                tasks: Vec::new(),
+                rr: 0,
+                next_id: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let threads = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("eend-pool-worker".into())
+                    .spawn(move || pool_worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, threads: Mutex::new(threads) }
+    }
+
+    /// Stops the pool: running jobs finish (their results are dropped
+    /// if their consumer is gone), registered tasks are cancelled (a
+    /// consumer blocked on results gets an error), and every worker
+    /// thread is joined. Idempotent.
+    pub fn shutdown(&self) {
+        let mut s = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        s.shutdown = true;
+        // Dropping the registry's senders fails pending consumers'
+        // `recv` over to the shutdown error path.
+        s.tasks.clear();
+        drop(s);
+        self.shared.work_cv.notify_all();
+        let threads = std::mem::take(&mut *self.threads.lock().unwrap_or_else(|p| p.into_inner()));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Tasks currently registered (campaigns with jobs still being
+    /// claimed or emitted) — observability for status endpoints and the
+    /// no-zombie-slots tests.
+    pub fn active_tasks(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|p| p.into_inner()).tasks.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl JobScheduler for WorkerPool {
+    fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    fn run_jobs_streaming(
+        &self,
+        jobs: &[Job],
+        window: usize,
+        policy: &FailurePolicy,
+        on_record: &mut dyn FnMut(usize, &Record) -> std::io::Result<()>,
+        on_failure: &mut dyn FnMut(&JobFailure) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let n = jobs.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let (tx, rx) = mpsc::channel::<(usize, JobOutcome)>();
+        let id = {
+            let mut s = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            if s.shutdown {
+                return Err(std::io::Error::other("worker pool is shut down"));
+            }
+            let id = s.next_id;
+            s.next_id += 1;
+            s.tasks.push(PoolTask {
+                id,
+                jobs: Arc::new(jobs.to_vec()),
+                policy: policy.clone(),
+                window: window.max(1),
+                next_claim: 0,
+                emitted: 0,
+                tx,
+            });
+            id
+        };
+        self.shared.work_cv.notify_all();
+        let _guard = TaskGuard { shared: &self.shared, id };
+        let mut pending: BTreeMap<usize, JobOutcome> = BTreeMap::new();
+        let mut next_emit = 0usize;
+        while next_emit < n {
+            let Ok((i, outcome)) = rx.recv() else {
+                // Every sender is gone with jobs outstanding: the pool
+                // was shut down under this campaign.
+                return Err(std::io::Error::other("worker pool shut down mid-campaign"));
+            };
+            pending.insert(i, outcome);
+            let before = next_emit;
+            while let Some(outcome) = pending.remove(&next_emit) {
+                let step = match outcome {
+                    JobOutcome::Done(record) => on_record(next_emit, &record),
+                    JobOutcome::Failed(failure) => {
+                        if matches!(policy, FailurePolicy::Abort) {
+                            // Re-raise with the original cause on the
+                            // campaign's own thread; `_guard` releases
+                            // this task's pool slots during the unwind.
+                            std::panic::panic_any(failure.cause);
+                        }
+                        on_failure(&failure)
+                    }
+                };
+                step?;
+                next_emit += 1;
+            }
+            if next_emit > before {
+                let mut s = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                if let Some(t) = s.tasks.iter_mut().find(|t| t.id == id) {
+                    t.emitted = next_emit;
+                }
+                drop(s);
+                self.shared.work_cv.notify_all();
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,5 +1063,152 @@ mod tests {
             );
         });
         assert!(result.is_err(), "the panic must propagate to the caller");
+    }
+
+    /// A small real job list for the shared-pool tests.
+    fn pool_jobs(name: &str, seeds: u64) -> Vec<Job> {
+        use crate::{BaseScenario, CampaignSpec};
+        use eend_wireless::stacks;
+        CampaignSpec::new(name, BaseScenario::Small)
+            .stacks(vec![stacks::titan_pc()])
+            .rates(vec![2.0])
+            .seeds(seeds)
+            .secs(10)
+            .expand()
+    }
+
+    fn collect_pool_run(pool: &WorkerPool, jobs: &[Job], window: usize) -> Vec<(usize, Record)> {
+        let mut got = Vec::new();
+        pool.run_jobs_streaming(
+            jobs,
+            window,
+            &FailurePolicy::Abort,
+            &mut |i, r| {
+                got.push((i, r.clone()));
+                Ok(())
+            },
+            &mut |f| Err(std::io::Error::other(format!("unexpected failure: {}", f.cause))),
+        )
+        .unwrap();
+        got
+    }
+
+    #[test]
+    fn pool_emits_in_order_and_matches_a_private_executor() {
+        let jobs = pool_jobs("pool-order", 6);
+        let reference = Executor::with_workers(1).run_jobs(&jobs);
+        for workers in [1, 3] {
+            let pool = WorkerPool::new(workers);
+            // A tight window forces the claim gate and reorder buffer
+            // to engage.
+            let got = collect_pool_run(&pool, &jobs, 2);
+            assert_eq!(got.len(), jobs.len(), "workers={workers}");
+            for (k, (i, record)) in got.iter().enumerate() {
+                assert_eq!(*i, k, "emission order broke at {k} (workers={workers})");
+                assert_eq!(record, &reference[k], "record {k} differs (workers={workers})");
+            }
+            assert_eq!(pool.active_tasks(), 0, "task must deregister after its run");
+        }
+    }
+
+    #[test]
+    fn pool_shares_workers_fairly_across_campaigns() {
+        // A big campaign registered first must not starve a small one:
+        // with round-robin claiming the 3-job campaign finishes while
+        // the 12-job one still has jobs outstanding. (Without fairness
+        // a worker would drain the first-registered task completely
+        // before touching the second.)
+        let pool = Arc::new(WorkerPool::new(1));
+        let big = pool_jobs("pool-big", 12);
+        let small = pool_jobs("pool-small", 3);
+        let big_done = Arc::new(AtomicUsize::new(0));
+        let big_at_small_finish = Arc::new(AtomicUsize::new(usize::MAX));
+
+        let big_total = big.len();
+        let big_pool = Arc::clone(&pool);
+        let big_counter = Arc::clone(&big_done);
+        let big_thread = std::thread::spawn(move || {
+            big_pool
+                .run_jobs_streaming(
+                    &big,
+                    4,
+                    &FailurePolicy::Abort,
+                    &mut |_, _| {
+                        big_counter.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    },
+                    &mut |_| Ok(()),
+                )
+                .unwrap();
+        });
+        // Give the big campaign a head start so its task is first in
+        // the registry (the unfair-drain order) — wait for its first
+        // record rather than a wall-clock guess.
+        while big_done.load(Ordering::SeqCst) < 1 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let n = collect_pool_run(&pool, &small, 4).len();
+        big_at_small_finish.store(big_done.load(Ordering::SeqCst), Ordering::SeqCst);
+        big_thread.join().unwrap();
+        assert_eq!(n, small.len());
+        let seen = big_at_small_finish.load(Ordering::SeqCst);
+        assert!(
+            seen < big_total,
+            "small campaign only finished after all {big_total} big jobs — no fair share"
+        );
+    }
+
+    #[test]
+    fn pool_survives_consumer_error_and_is_reusable() {
+        let pool = WorkerPool::new(2);
+        let jobs = pool_jobs("pool-err", 4);
+        let err = pool
+            .run_jobs_streaming(
+                &jobs,
+                2,
+                &FailurePolicy::Abort,
+                &mut |_, _| Err(std::io::Error::other("disk full")),
+                &mut |_| Ok(()),
+            )
+            .unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+        assert_eq!(pool.active_tasks(), 0, "failed consumer must release its task");
+        // The same pool keeps serving new campaigns afterwards.
+        assert_eq!(collect_pool_run(&pool, &jobs, 2).len(), jobs.len());
+    }
+
+    #[test]
+    fn pool_shutdown_fails_pending_consumers_and_new_registrations() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let jobs = pool_jobs("pool-shutdown", 8);
+        let consumer_pool = Arc::clone(&pool);
+        let consumer_jobs = jobs.clone();
+        let consumer = std::thread::spawn(move || {
+            consumer_pool.run_jobs_streaming(
+                &consumer_jobs,
+                2,
+                &FailurePolicy::Abort,
+                &mut |_, _| Ok(()),
+                &mut |_| Ok(()),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        pool.shutdown();
+        let result = consumer.join().unwrap();
+        // Fast machines may finish all 8 jobs before the shutdown
+        // lands; otherwise the consumer must get the shutdown error.
+        if let Err(e) = result {
+            assert!(e.to_string().contains("shut down"), "unexpected error: {e}");
+        }
+        let err = pool
+            .run_jobs_streaming(
+                &jobs,
+                2,
+                &FailurePolicy::Abort,
+                &mut |_, _| Ok(()),
+                &mut |_| Ok(()),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("shut down"), "unexpected error: {err}");
     }
 }

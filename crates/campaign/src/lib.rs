@@ -68,7 +68,9 @@ pub mod sink;
 pub mod spec;
 pub mod store;
 
-pub use executor::{Backoff, Executor, FailurePolicy, JobFailure, JobOutcome};
+pub use executor::{
+    Backoff, Executor, FailurePolicy, JobFailure, JobOutcome, JobScheduler, WorkerPool,
+};
 pub use report::{metric_columns, CampaignResult, MetricColumn, Record};
 pub use serve::{ServeConfig, ServerHandle};
 pub use sink::{CsvSink, FanoutSink, JsonlSink, MemorySink, RecordSink};

@@ -3,10 +3,23 @@
 //! A daemon built from std building blocks only (`TcpListener` plus a
 //! thread per connection — the workspace is offline, so no async
 //! runtime): clients submit [`CampaignSpec`]s over a line-oriented
-//! HTTP/JSONL protocol, the daemon schedules the jobs on the bounded
-//! [`Executor`], persists every record into a fingerprinted
+//! HTTP/JSONL protocol, the daemon schedules the jobs on one shared
+//! [`WorkerPool`], persists every record into a fingerprinted
 //! [`ResultStore`] under its data directory, and answers a re-submitted
 //! spec **from cache** by fingerprint instead of re-simulating.
+//!
+//! # Concurrent scheduling
+//!
+//! All active campaigns run **concurrently** on the shared pool (sized
+//! by [`ServeConfig::executor`]): each submission gets a supervised
+//! campaign thread that registers its pending jobs as one pool task,
+//! and idle pool workers claim jobs round-robin across runnable
+//! campaigns — one claim, next campaign — so a 100k-job campaign
+//! cannot head-of-line-block a 12-job interactive one, and a lone
+//! campaign still gets every worker. Each campaign keeps its own
+//! claim-gated reorder window and appends to its own store in job
+//! order, so every `records.jsonl` stays byte-identical to a solo
+//! serial run regardless of how jobs interleave across campaigns.
 //!
 //! # Protocol
 //!
@@ -16,9 +29,10 @@
 //! | Request | Body / query | Response |
 //! |---|---|---|
 //! | `POST /submit` | `{"campaign": name, "axes": {…}, "on_failure": "abort"\|"skip"\|"retry=N"?}` — the axes use the exact [`SpecAxes::to_json`] schema stored in store manifests; `on_failure` (optional) sets the store's [`FailurePolicy`] | `{"fingerprint","total","done","cached","state"}` |
-//! | `GET /status/<fp>` | — | `{"fingerprint","total","done","failed","state","error","executed"}` |
+//! | `GET /status` | — | daemon-wide listing: `{"workers","executed","campaigns":[{"fingerprint","total","done","failed","state"},…]}` |
+//! | `GET /status/<fp>` | — | `{"fingerprint","total","done","failed","state","error","workers","executed"}` |
 //! | `GET /stream/<fp>` | `?from=N&format=jsonl\|csv` | one record per line as jobs complete, resuming from the store at record `N` (reconnects pick up where they left off) |
-//! | `GET /aggregate/<fp>` | — | one JSONL cell per (metric, stack, x): `{"metric","stack","x","n","mean","ci95"}` |
+//! | `GET /aggregate/<fp>` | — | one JSONL cell per (metric, stack, x): `{"metric","stack","x","n","mean","ci95"}`; repeat hits are served from a cache keyed on `(fingerprint, contiguous-durable-prefix)`, so they never re-read the store |
 //! | `GET /` | — | health probe (`eend-serve`) |
 //!
 //! `<fp>` is the 16-hex-digit campaign fingerprint returned by submit.
@@ -51,13 +65,17 @@
 //! serving. Connection handlers are supervised the same way (a handler
 //! panic costs one connection, answered 500). POST bodies are bounded
 //! (413 past 1 MiB), header floods are cut off, and slow, timed-out, or
-//! malformed clients are logged with their peer address. On shutdown
-//! ([`ServerHandle::shutdown`], or SIGTERM/ctrl-c in the binary) the
-//! daemon stops accepting, lets the in-flight record finish durably
-//! (the store's cooperative cancel flag), flushes, and exits cleanly —
-//! a restart over the same data dir resumes exactly the missing jobs.
+//! malformed clients are logged with their peer address. A campaign
+//! that dies releases its claimed pool slots immediately (its pool
+//! task deregisters during the unwind), so concurrent campaigns keep
+//! all remaining workers. On shutdown ([`ServerHandle::shutdown`], or
+//! SIGTERM/ctrl-c in the binary) the daemon stops accepting, lets
+//! every active campaign's in-flight record finish durably (the
+//! store's cooperative cancel flag), joins the campaign threads and
+//! the pool, and exits cleanly — a restart over the same data dir
+//! resumes exactly the missing jobs.
 
-use crate::executor::{panic_cause, Executor, FailurePolicy};
+use crate::executor::{panic_cause, Executor, FailurePolicy, JobScheduler, WorkerPool};
 use crate::report::{csv_header_into, csv_row_into, json_num, json_row_into, json_str, Record};
 use crate::spec::{CampaignSpec, GridPoint, Job};
 use crate::store::{
@@ -75,7 +93,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -95,8 +113,9 @@ pub struct ServeConfig {
     /// Directory holding one fingerprinted [`ResultStore`] per
     /// campaign (created if missing).
     pub data_dir: PathBuf,
-    /// The executor campaigns run on. Campaigns run one at a time, in
-    /// submission order; within a campaign, jobs run on this pool.
+    /// Sizes the daemon's shared [`WorkerPool`]: all active campaigns
+    /// run concurrently, multiplexed onto this many workers with
+    /// fair-share (round-robin per claim) job scheduling.
     pub executor: Executor,
 }
 
@@ -138,6 +157,10 @@ struct CampaignEntry {
     /// Notified on every completed record and phase change, so
     /// streaming subscribers wake the moment a record is tailable.
     cv: Condvar,
+    /// The last `/aggregate` body, keyed on the contiguous durable
+    /// prefix it was computed at — records landing after it advance
+    /// the prefix, which invalidates the entry by key mismatch.
+    agg_cache: Mutex<Option<(usize, Arc<String>)>>,
 }
 
 impl CampaignEntry {
@@ -152,18 +175,23 @@ impl CampaignEntry {
     }
 }
 
-/// Shared daemon state: the campaign registry plus the run queue.
+/// Shared daemon state: the campaign registry plus the shared pool.
 struct ServeState {
     data_dir: PathBuf,
-    executor: Executor,
+    /// The one pool every campaign's jobs multiplex onto.
+    pool: WorkerPool,
     shutdown: AtomicBool,
     /// Simulation jobs actually executed since the daemon started —
     /// cache hits leave it untouched, which the cache tests assert.
     jobs_executed: AtomicUsize,
+    /// `/aggregate` bodies actually computed (store re-read and
+    /// re-reduced) — repeat hits served from cache leave it untouched,
+    /// which the aggregate-cache test asserts.
+    aggregates_computed: AtomicUsize,
     campaigns: Mutex<BTreeMap<u64, Arc<CampaignEntry>>>,
-    /// Sender side of the run queue; taken (closed) on shutdown so the
-    /// runner thread drains and exits.
-    queue: Mutex<Option<mpsc::Sender<Arc<CampaignEntry>>>>,
+    /// Live campaign threads (one per campaign being run); `None` once
+    /// shutdown has begun, so no new campaign can sneak past the join.
+    runners: Mutex<Option<Vec<JoinHandle<()>>>>,
 }
 
 /// A handle on a running daemon, returned by [`serve`].
@@ -171,7 +199,6 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServeState>,
     accept_thread: Option<JoinHandle<()>>,
-    runner_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -186,23 +213,40 @@ impl ServerHandle {
         self.state.jobs_executed.load(Ordering::SeqCst)
     }
 
+    /// `/aggregate` bodies actually computed (store re-read and
+    /// re-reduced) since startup. A repeat hit served from the
+    /// aggregate cache does not move this counter.
+    pub fn aggregates_computed(&self) -> usize {
+        self.state.aggregates_computed.load(Ordering::SeqCst)
+    }
+
+    /// The shared pool's worker bound (what `/status` reports).
+    pub fn workers(&self) -> usize {
+        self.state.pool.workers()
+    }
+
+    /// Campaigns with jobs currently registered on the shared pool —
+    /// zero once every active campaign has finished or died (the
+    /// no-zombie-slots chaos test asserts this).
+    pub fn active_pool_tasks(&self) -> usize {
+        self.state.pool.active_tasks()
+    }
+
     /// Blocks until the accept loop exits (i.e. forever, for a daemon
     /// killed externally) — the `eend-serve` binary's main thread.
     pub fn join(mut self) {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.runner_thread.take() {
-            let _ = t.join();
-        }
+        self.drain();
     }
 
-    /// Stops the daemon: no new connections, the run queue closes (a
-    /// campaign mid-run finishes its in-flight jobs durably and stops),
-    /// and both service threads are joined.
+    /// Stops the daemon: no new connections, every campaign mid-run
+    /// finishes its in-flight record durably and stops (cooperative
+    /// cancel), and the accept loop, campaign threads, and pool
+    /// workers are all joined.
     pub fn shutdown(mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        self.state.queue.lock().expect("queue lock poisoned").take();
         // Wake every waiting subscriber so they see the flag and drain.
         for entry in self.state.campaigns.lock().expect("registry lock poisoned").values() {
             entry.cv.notify_all();
@@ -212,72 +256,73 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.runner_thread.take() {
-            let _ = t.join();
+        self.drain();
+    }
+
+    /// Joins every campaign thread (taking the registry so no new one
+    /// can spawn), then stops the shared pool.
+    fn drain(&self) {
+        let handles = self.state.runners.lock().expect("runner registry poisoned").take();
+        for h in handles.into_iter().flatten() {
+            let _ = h.join();
         }
+        self.state.pool.shutdown();
     }
 }
 
 /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 for an ephemeral port)
 /// and starts the daemon: an accept loop spawning one thread per
-/// connection, plus a single runner thread draining the campaign queue
-/// on the configured executor. Returns as soon as the listener is live.
+/// connection, plus the shared worker pool every campaign's jobs
+/// multiplex onto. Returns as soon as the listener is live.
 pub fn serve(addr: &str, config: ServeConfig) -> io::Result<ServerHandle> {
     std::fs::create_dir_all(&config.data_dir)?;
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let (tx, rx) = mpsc::channel::<Arc<CampaignEntry>>();
     let state = Arc::new(ServeState {
         data_dir: config.data_dir,
-        executor: config.executor,
+        pool: WorkerPool::new(config.executor.workers()),
         shutdown: AtomicBool::new(false),
         jobs_executed: AtomicUsize::new(0),
+        aggregates_computed: AtomicUsize::new(0),
         campaigns: Mutex::new(BTreeMap::new()),
-        queue: Mutex::new(Some(tx)),
+        runners: Mutex::new(Some(Vec::new())),
     });
-    let runner_state = Arc::clone(&state);
-    let runner_thread = thread::Builder::new()
-        .name("eend-serve-runner".into())
-        .spawn(move || runner_loop(&runner_state, rx))?;
     let accept_state = Arc::clone(&state);
     let accept_thread = thread::Builder::new()
         .name("eend-serve-accept".into())
         .spawn(move || accept_loop(&listener, &accept_state))?;
-    Ok(ServerHandle {
-        addr,
-        state,
-        accept_thread: Some(accept_thread),
-        runner_thread: Some(runner_thread),
-    })
+    Ok(ServerHandle { addr, state, accept_thread: Some(accept_thread) })
 }
 
 // ---------------------------------------------------------------------
-// Runner: one campaign at a time, jobs on the bounded executor.
+// Campaign threads: one supervisor per active campaign, jobs on the
+// shared pool.
 
-fn runner_loop(state: &ServeState, rx: mpsc::Receiver<Arc<CampaignEntry>>) {
-    while let Ok(entry) = rx.recv() {
-        if state.shutdown.load(Ordering::SeqCst) {
-            entry.set_phase(Phase::Idle, None);
-            continue;
-        }
-        entry.set_phase(Phase::Running, None);
-        let requested = entry.policy.lock().expect("policy lock poisoned").clone();
-        // Supervised: a panicking campaign (abort policy, or a bug
-        // anywhere under the store) marks this fingerprint failed; the
-        // daemon and its other campaigns keep serving.
-        let run = catch_unwind(AssertUnwindSafe(|| run_campaign(state, &entry, requested)));
-        let error = match run {
-            Ok(Ok(())) => None,
-            Ok(Err(e)) => Some(e.to_string()),
-            Err(payload) => Some(format!("campaign panicked: {}", panic_cause(payload.as_ref()))),
-        };
-        entry.set_phase(Phase::Idle, error);
+/// Body of one "eend-serve-campaign" thread. Supervised: a panicking
+/// campaign (abort policy, or a bug anywhere under the store) marks
+/// that fingerprint failed — and its pool task deregisters during the
+/// unwind, releasing every claimed slot — while the daemon and its
+/// other campaigns keep serving.
+fn campaign_thread(state: &ServeState, entry: &Arc<CampaignEntry>) {
+    if state.shutdown.load(Ordering::SeqCst) {
+        entry.set_phase(Phase::Idle, None);
+        return;
     }
+    entry.set_phase(Phase::Running, None);
+    let requested = entry.policy.lock().expect("policy lock poisoned").clone();
+    let run = catch_unwind(AssertUnwindSafe(|| run_campaign(state, entry, requested)));
+    let error = match run {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e.to_string()),
+        Err(payload) => Some(format!("campaign panicked: {}", panic_cause(payload.as_ref()))),
+    };
+    entry.set_phase(Phase::Idle, error);
 }
 
 /// One supervised campaign run: open (resume) the store, honouring a
-/// submit-time policy override, and execute the pending jobs with the
-/// daemon's shutdown flag as the cooperative cancel signal.
+/// submit-time policy override, and execute the pending jobs on the
+/// shared pool with the daemon's shutdown flag as the cooperative
+/// cancel signal.
 fn run_campaign(
     state: &ServeState,
     entry: &Arc<CampaignEntry>,
@@ -292,7 +337,7 @@ fn run_campaign(
         cancel: Some(&state.shutdown),
     };
     let mut have: BTreeSet<usize> = store.completed().clone();
-    let outcome = store.run_with(&state.executor, &entry.jobs, &opts, |id| {
+    let outcome = store.run_with(&state.pool, &entry.jobs, &opts, |id| {
         state.jobs_executed.fetch_add(1, Ordering::SeqCst);
         have.insert(id);
         let mut p = entry.progress.lock().expect("progress lock poisoned");
@@ -351,6 +396,7 @@ fn register(
         policy: Mutex::new(policy),
         progress: Mutex::new(Progress { done, failed, phase: Phase::Idle, error: None }),
         cv: Condvar::new(),
+        agg_cache: Mutex::new(None),
     });
     map.insert(fp, Arc::clone(&entry));
     Ok(entry)
@@ -400,13 +446,33 @@ fn find_campaign(state: &ServeState, fp: u64) -> io::Result<Option<Arc<CampaignE
     Ok(Some(entry))
 }
 
-/// Queues the campaign for execution if it has missing jobs and is not
-/// already queued or running. Returns a progress snapshot.
-fn maybe_enqueue(state: &ServeState, entry: &Arc<CampaignEntry>) -> (usize, Phase) {
+/// Starts a campaign thread for the entry if it has missing jobs and is
+/// not already queued or running — campaigns run *concurrently*, each
+/// on its own supervised thread, all sharing the daemon's pool. Returns
+/// a progress snapshot.
+fn maybe_enqueue(state: &Arc<ServeState>, entry: &Arc<CampaignEntry>) -> (usize, Phase) {
     let mut p = entry.progress.lock().expect("progress lock poisoned");
-    if p.phase == Phase::Idle && p.done < entry.jobs.len() {
-        if let Some(tx) = state.queue.lock().expect("queue lock poisoned").as_ref() {
-            if tx.send(Arc::clone(entry)).is_ok() {
+    if p.phase == Phase::Idle && p.done < entry.jobs.len() && !state.shutdown.load(Ordering::SeqCst)
+    {
+        let mut runners = state.runners.lock().expect("runner registry poisoned");
+        if let Some(handles) = runners.as_mut() {
+            // Reap finished campaign threads so the registry stays
+            // bounded by the number of *active* campaigns.
+            let mut i = 0;
+            while i < handles.len() {
+                if handles[i].is_finished() {
+                    let _ = handles.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            let thread_state = Arc::clone(state);
+            let thread_entry = Arc::clone(entry);
+            let spawned = thread::Builder::new()
+                .name("eend-serve-campaign".into())
+                .spawn(move || campaign_thread(&thread_state, &thread_entry));
+            if let Ok(handle) = spawned {
+                handles.push(handle);
                 p.phase = Phase::Queued;
                 p.error = None;
             }
@@ -534,7 +600,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &ServeState) -> io::Result<()> {
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServeState>) -> io::Result<()> {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -553,7 +619,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState) -> io::Result<()
     }
 }
 
-fn dispatch(stream: &mut TcpStream, state: &ServeState, peer: &str) -> io::Result<()> {
+fn dispatch(stream: &mut TcpStream, state: &Arc<ServeState>, peer: &str) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     let req = match read_request(stream) {
         Ok(r) => r,
@@ -577,6 +643,10 @@ fn dispatch(stream: &mut TcpStream, state: &ServeState, peer: &str) -> io::Resul
                 respond(stream, 400, "text/plain", &format!("error: {e}\n"))
             }
         },
+        ("GET", ["status"]) => {
+            let body = status_listing(state);
+            respond(stream, 200, "application/json", &body)
+        }
         ("GET", ["status", fp_hex]) => with_campaign(state, fp_hex, stream, |entry, s| {
             let (done, failed, phase, error) = {
                 let p = entry.progress.lock().expect("progress lock poisoned");
@@ -584,11 +654,12 @@ fn dispatch(stream: &mut TcpStream, state: &ServeState, peer: &str) -> io::Resul
             };
             let json = format!(
                 "{{\"fingerprint\":\"{:016x}\",\"total\":{},\"done\":{done},\"failed\":{failed},\
-                 \"state\":{},\"error\":{},\"executed\":{}}}\n",
+                 \"state\":{},\"error\":{},\"workers\":{},\"executed\":{}}}\n",
                 entry.fingerprint,
                 entry.jobs.len(),
                 json_str(state_name(done, entry.jobs.len(), phase, error.is_some())),
                 error.as_deref().map(json_str).unwrap_or_else(|| "null".to_owned()),
+                state.pool.workers(),
                 state.jobs_executed.load(Ordering::SeqCst)
             );
             respond(s, 200, "application/json", &json)
@@ -616,7 +687,7 @@ fn dispatch(stream: &mut TcpStream, state: &ServeState, peer: &str) -> io::Resul
             })
         }
         ("GET", ["aggregate", fp_hex]) => with_campaign(state, fp_hex, stream, |entry, s| {
-            match aggregate_impl(&entry) {
+            match aggregate_impl(state, &entry) {
                 Ok(body) => respond(s, 200, "application/x-ndjson", &body),
                 Err(e) => respond(s, 409, "text/plain", &format!("error: {e}\n")),
             }
@@ -663,7 +734,38 @@ fn state_name(done: usize, total: usize, phase: Phase, has_error: bool) -> &'sta
 // ---------------------------------------------------------------------
 // Endpoints.
 
-fn submit_impl(state: &ServeState, body: &str) -> io::Result<String> {
+/// The daemon-wide `GET /status` body: pool size, lifetime job count,
+/// and a phase/progress line per registered campaign.
+fn status_listing(state: &ServeState) -> String {
+    let campaigns: Vec<Arc<CampaignEntry>> =
+        state.campaigns.lock().expect("registry lock poisoned").values().cloned().collect();
+    let mut body = format!(
+        "{{\"workers\":{},\"executed\":{},\"campaigns\":[",
+        state.pool.workers(),
+        state.jobs_executed.load(Ordering::SeqCst)
+    );
+    for (i, entry) in campaigns.iter().enumerate() {
+        let (done, failed, phase, has_error) = {
+            let p = entry.progress.lock().expect("progress lock poisoned");
+            (p.done, p.failed, p.phase, p.error.is_some())
+        };
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"fingerprint\":\"{:016x}\",\"total\":{},\"done\":{done},\"failed\":{failed},\
+             \"state\":{}}}",
+            entry.fingerprint,
+            entry.jobs.len(),
+            json_str(state_name(done, entry.jobs.len(), phase, has_error))
+        );
+    }
+    body.push_str("]}\n");
+    body
+}
+
+fn submit_impl(state: &Arc<ServeState>, body: &str) -> io::Result<String> {
     let v = parse_json(body)?;
     let campaign = v.get("campaign")?.str()?;
     if campaign.is_empty() {
@@ -832,8 +934,8 @@ fn aggregate_x_axis(spec: &CampaignSpec) -> fn(&GridPoint) -> f64 {
     }
 }
 
-fn aggregate_impl(entry: &CampaignEntry) -> io::Result<String> {
-    {
+fn aggregate_impl(state: &ServeState, entry: &CampaignEntry) -> io::Result<String> {
+    let done = {
         let p = entry.progress.lock().expect("progress lock poisoned");
         if p.done < entry.jobs.len() {
             return Err(bad_req(format!(
@@ -842,7 +944,17 @@ fn aggregate_impl(entry: &CampaignEntry) -> io::Result<String> {
                 entry.jobs.len()
             )));
         }
+        p.done
+    };
+    // Cache keyed on the contiguous durable prefix the body was
+    // computed at: records landing later advance the prefix, so a stale
+    // entry misses by key and the body is recomputed from the store.
+    if let Some((at, body)) = entry.agg_cache.lock().expect("agg cache poisoned").as_ref() {
+        if *at == done {
+            return Ok(body.as_ref().clone());
+        }
     }
+    state.aggregates_computed.fetch_add(1, Ordering::SeqCst);
     let store = ResultStore::open_existing(&entry.dir)?;
     let mut sink = AggSink {
         x: aggregate_x_axis(&entry.spec),
@@ -873,5 +985,6 @@ fn aggregate_impl(entry: &CampaignEntry) -> io::Result<String> {
             }
         }
     }
+    *entry.agg_cache.lock().expect("agg cache poisoned") = Some((done, Arc::new(out.clone())));
     Ok(out)
 }

@@ -30,7 +30,7 @@
 //! grid — the path `eend-cli campaign merge --csv` and the serve
 //! daemon's aggregate endpoint run on.
 
-use crate::executor::{Executor, FailurePolicy, JobFailure};
+use crate::executor::{FailurePolicy, JobFailure, JobScheduler};
 use crate::report::{json_num, json_str, CampaignResult, Record};
 use crate::sink::RecordSink;
 use crate::spec::{BaseScenario, CampaignSpec, FailurePlan, Job};
@@ -774,7 +774,8 @@ impl ResultStore {
         shard_jobs.iter().all(|j| self.completed.contains(&j.index))
     }
 
-    /// Simulates every *missing* job of this shard on `executor`,
+    /// Simulates every *missing* job of this shard on `scheduler` (a
+    /// private [`crate::Executor`] or the shared [`crate::WorkerPool`]),
     /// appending each record durably (flushed per record) as it streams
     /// out in job order, and returns how many jobs actually ran.
     /// Already-completed jobs are skipped — calling this after an
@@ -784,13 +785,13 @@ impl ResultStore {
     ///
     /// `shard_jobs` must be this store's shard slice of the campaign
     /// (`CampaignSpec::shard(shard_index, shard_count)`).
-    pub fn run(
+    pub fn run<S: JobScheduler + ?Sized>(
         &mut self,
-        executor: &Executor,
+        scheduler: &S,
         shard_jobs: &[Job],
         limit: Option<usize>,
     ) -> io::Result<usize> {
-        self.run_observed(executor, shard_jobs, limit, |_| {})
+        self.run_observed(scheduler, shard_jobs, limit, |_| {})
     }
 
     /// [`ResultStore::run`] with a completion observer: `observe(id)`
@@ -798,15 +799,15 @@ impl ResultStore {
     /// record is durable (written and flushed), in job order. The serve
     /// daemon uses this to wake streaming subscribers the moment a
     /// record can be tailed from disk, without a second scan.
-    pub fn run_observed(
+    pub fn run_observed<S: JobScheduler + ?Sized>(
         &mut self,
-        executor: &Executor,
+        scheduler: &S,
         shard_jobs: &[Job],
         limit: Option<usize>,
         observe: impl FnMut(usize),
     ) -> io::Result<usize> {
         let opts = RunOptions { limit, policy: self.policy(), cancel: None };
-        let outcome = self.run_with(executor, shard_jobs, &opts, observe)?;
+        let outcome = self.run_with(scheduler, shard_jobs, &opts, observe)?;
         Ok(outcome.ran + outcome.failed)
     }
 
@@ -828,9 +829,9 @@ impl ResultStore {
     /// Failpoints: `store.flush` (per record append, hit-counted),
     /// `store.bookkeep` (between a record's durable append and its
     /// in-memory bookkeeping, matched on the job id).
-    pub fn run_with(
+    pub fn run_with<S: JobScheduler + ?Sized>(
         &mut self,
-        executor: &Executor,
+        scheduler: &S,
         shard_jobs: &[Job],
         opts: &RunOptions<'_>,
         mut observe: impl FnMut(usize),
@@ -884,45 +885,47 @@ impl ResultStore {
             }
             Ok(())
         };
-        let result = executor.run_streaming_policy(
+        let mut on_record = |i: usize, record: &Record| {
+            let id = todo[i].index;
+            line.clear();
+            record_line_into(&mut line, id, record);
+            append_durable(&mut file, &mut good_len, line.as_bytes(), &opts.policy)?;
+            // Chaos hook: a kill landing *between* the durable
+            // record and the bookkeeping that follows it.
+            eend_fail::io_guard_at("store.bookkeep", id as u64)?;
+            completed.insert(id);
+            ran += 1;
+            observe(id);
+            cancel_after(&cancelled)
+        };
+        let mut on_failure = |f: &JobFailure| {
+            let fw = match failures_file.as_mut() {
+                Some(fw) => fw,
+                None => failures_file.insert(
+                    OpenOptions::new().create(true).append(true).open(&failures_path)?,
+                ),
+            };
+            // Failures are rare: a fresh buffer beats sharing the
+            // record buffer across both closures.
+            let mut fl = String::new();
+            let _ = writeln!(
+                fl,
+                "{{\"job\":{},\"attempts\":{},\"cause\":{}}}",
+                f.job_id,
+                f.attempts,
+                json_str(&f.cause)
+            );
+            fw.write_all(fl.as_bytes())?;
+            failures.insert(f.job_id, f.clone());
+            failed += 1;
+            cancel_after(&cancelled)
+        };
+        let result = scheduler.run_jobs_streaming(
             &todo,
-            executor.default_window(),
+            scheduler.default_window(),
             &opts.policy,
-            |i, record| {
-                let id = todo[i].index;
-                line.clear();
-                record_line_into(&mut line, id, record);
-                append_durable(&mut file, &mut good_len, line.as_bytes(), &opts.policy)?;
-                // Chaos hook: a kill landing *between* the durable
-                // record and the bookkeeping that follows it.
-                eend_fail::io_guard_at("store.bookkeep", id as u64)?;
-                completed.insert(id);
-                ran += 1;
-                observe(id);
-                cancel_after(&cancelled)
-            },
-            |f| {
-                let fw = match failures_file.as_mut() {
-                    Some(fw) => fw,
-                    None => failures_file.insert(
-                        OpenOptions::new().create(true).append(true).open(&failures_path)?,
-                    ),
-                };
-                // Failures are rare: a fresh buffer beats sharing the
-                // record buffer across both closures.
-                let mut fl = String::new();
-                let _ = writeln!(
-                    fl,
-                    "{{\"job\":{},\"attempts\":{},\"cause\":{}}}",
-                    f.job_id,
-                    f.attempts,
-                    json_str(&f.cause)
-                );
-                fw.write_all(fl.as_bytes())?;
-                failures.insert(f.job_id, f.clone());
-                failed += 1;
-                cancel_after(&cancelled)
-            },
+            &mut on_record,
+            &mut on_failure,
         );
         // A job that failed in an earlier session and succeeded in this
         // one leaves a stale failure entry; prune as open() would.

@@ -1,0 +1,122 @@
+//! The shared-pool scheduler's cornerstone invariant, as a property:
+//! **K campaigns run concurrently on one [`WorkerPool`] produce
+//! per-store `records.jsonl` files byte-identical to their solo serial
+//! runs**, no matter how jobs interleave across campaigns.
+//!
+//! Each proptest case draws a pool size, a campaign count, and a
+//! distinct grid shape per campaign (so job lists differ in length and
+//! content), runs every campaign solo on a 1-worker [`Executor`] as the
+//! reference, then re-runs them all concurrently — one consumer thread
+//! per campaign, staggered by drawn delays to vary the registration
+//! order — against one shared pool, and diffs the stores byte for byte.
+//! Thread-scheduler nondeterminism on top of the drawn parameters is
+//! the "randomized worker schedule" part: every case exercises a fresh
+//! interleaving.
+
+use eend_campaign::store::Manifest;
+use eend_campaign::{
+    BaseScenario, CampaignSpec, Executor, FailurePolicy, ResultStore, RunOptions, WorkerPool,
+};
+use eend_wireless::stacks;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A unique scratch directory per test invocation (no tempfile dep).
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eend-conc-test-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Campaign `i` of a case: shape varies with the index so concurrent
+/// job lists differ in length, stacks, and rates.
+fn case_spec(case: u64, i: usize, seeds: u64) -> CampaignSpec {
+    let stacks = if i.is_multiple_of(2) {
+        vec![stacks::titan_pc()]
+    } else {
+        vec![stacks::titan_pc(), stacks::dsr_active()]
+    };
+    CampaignSpec::new(&format!("conc-{case}-{i}"), BaseScenario::Small)
+        .stacks(stacks)
+        .rates(if i.is_multiple_of(3) { vec![2.0, 4.0] } else { vec![4.0] })
+        .seeds(seeds + i as u64 % 2)
+        .secs(10 + 5 * (i as u64 % 2))
+}
+
+/// Runs `spec` to completion in `dir` on `scheduler` and returns the
+/// store's raw `records.jsonl` bytes.
+fn run_into(
+    scheduler: &(impl eend_campaign::JobScheduler + ?Sized),
+    spec: &CampaignSpec,
+    dir: &PathBuf,
+) -> std::io::Result<Vec<u8>> {
+    let jobs = spec.expand();
+    let mut store = ResultStore::open(dir, Manifest::for_spec(spec, 0, 1))?;
+    let opts = RunOptions { limit: None, policy: FailurePolicy::Abort, cancel: None };
+    store.run_with(scheduler, &jobs, &opts, |_| {})?;
+    std::fs::read(dir.join("records.jsonl"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn concurrent_campaigns_match_their_solo_runs_byte_for_byte(
+        case in 0u64..10_000,
+        workers in 1usize..5,
+        k in 2usize..5,
+        seeds in 2u64..4,
+        stagger_ms in 0u64..4,
+    ) {
+        let specs: Vec<CampaignSpec> = (0..k).map(|i| case_spec(case, i, seeds)).collect();
+
+        // Solo serial references, one store per campaign.
+        let solo: Vec<Vec<u8>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                run_into(&Executor::with_workers(1), spec, &scratch(&format!("solo-{i}")))
+                    .expect("solo run")
+            })
+            .collect();
+
+        // The same campaigns, concurrently, all on one shared pool.
+        let pool = WorkerPool::new(workers);
+        let concurrent: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let pool = &pool;
+                    let dir = scratch(&format!("conc-{i}"));
+                    scope.spawn(move || {
+                        // Stagger registrations so claim interleavings
+                        // differ across campaigns and cases.
+                        std::thread::sleep(Duration::from_millis(stagger_ms * i as u64));
+                        run_into(pool, spec, &dir).expect("concurrent run")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("campaign thread")).collect()
+        });
+        prop_assert_eq!(pool.active_tasks(), 0, "all tasks must deregister");
+
+        for (i, (solo_bytes, conc_bytes)) in solo.iter().zip(&concurrent).enumerate() {
+            prop_assert!(
+                solo_bytes == conc_bytes,
+                "campaign {i}: records.jsonl differs between solo ({} bytes) and \
+                 concurrent ({} bytes) runs",
+                solo_bytes.len(),
+                conc_bytes.len()
+            );
+            prop_assert!(!solo_bytes.is_empty(), "campaign {i}: empty records.jsonl");
+        }
+    }
+}

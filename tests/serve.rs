@@ -13,7 +13,14 @@
 //! 6. a graceful shutdown mid-campaign loses nothing: a restarted
 //!    daemon runs only the jobs the first one had not landed durably;
 //! 7. oversized (413) and malformed (400) requests are rejected with
-//!    errors, never by taking the daemon down.
+//!    errors, never by taking the daemon down;
+//! 8. two campaigns running **concurrently** on the shared pool fan out
+//!    to many `/stream` subscribers each (one reconnecting mid-run),
+//!    all byte-identical, with no cross-campaign bleed — and the
+//!    daemon-wide `/status` lists both with the pool's worker count;
+//! 9. a repeat `/aggregate` hit answers from the prefix-keyed cache
+//!    without re-reading the store (the computation counter must not
+//!    move).
 //!
 //! Failpoint-driven daemon tests (poisoned campaigns, injected
 //! disconnects) live in `tests/serve_chaos.rs` — a separate process,
@@ -357,6 +364,157 @@ fn graceful_shutdown_mid_campaign_resumes_without_rerunning_jobs() {
     assert_eq!(body(&csv), expected.to_csv());
 
     second.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+/// The full JSONL stream body this campaign must produce.
+fn expected_jsonl(result: &CampaignResult) -> String {
+    let mut sink = JsonlSink::new(&result.campaign, Vec::new());
+    for r in &result.records {
+        sink.accept(r).unwrap();
+    }
+    sink.finish().unwrap();
+    String::from_utf8(sink.into_inner()).unwrap()
+}
+
+/// Connects a live `/stream/<fp>` subscriber and returns everything it
+/// received, headers stripped — blocking until the daemon closes the
+/// stream (campaign done).
+fn subscribe(addr: SocketAddr, fp: &str, from: usize) -> String {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(format!("GET /stream/{fp}?from={from} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut out = String::new();
+    conn.read_to_string(&mut out).unwrap();
+    body(&out).to_owned()
+}
+
+#[test]
+fn concurrent_campaigns_fan_out_to_all_subscribers_byte_identically() {
+    // Two campaigns with different names (hence fingerprints and job
+    // lists) run concurrently on the shared pool; every subscriber of
+    // each sees exactly that campaign's solo-run bytes.
+    let spec_a = spec();
+    let spec_b = CampaignSpec::new("cli-b", BaseScenario::Small)
+        .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+        .rates(vec![2.0, 4.0, 8.0])
+        .seeds(1)
+        .secs(15);
+    let full_a = expected_jsonl(&Executor::with_workers(1).run(&spec_a));
+    let full_b = expected_jsonl(&Executor::with_workers(1).run(&spec_b));
+
+    let data = scratch("fanout");
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Subscribe *before* submitting, so every subscriber tails the
+    // campaign live rather than replaying a finished store.
+    let fp_a = fp_of(body(&post(addr, "/submit", &submit_body(&spec_a))));
+    let fp_b = fp_of(body(&post(addr, "/submit", &submit_body(&spec_b))));
+    assert_ne!(fp_a, fp_b);
+
+    let subscribers: Vec<_> = [(fp_a.clone(), &full_a), (fp_b.clone(), &full_b)]
+        .into_iter()
+        .flat_map(|(fp, full)| {
+            (0..3).map(move |_| {
+                let fp = fp.clone();
+                let full = full.clone();
+                std::thread::spawn(move || {
+                    let got = subscribe(addr, &fp, 0);
+                    assert_eq!(got, full, "subscriber of {fp} saw different bytes");
+                })
+            })
+        })
+        .collect();
+
+    // One more subscriber of campaign A drops after two records and
+    // reconnects mid-run with ?from=: the concatenation must equal the
+    // uninterrupted stream.
+    let mut first_two = String::new();
+    {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(format!("GET /stream/{fp_a} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" {
+                break;
+            }
+            assert!(!line.is_empty(), "stream closed before the body started");
+        }
+        for _ in 0..2 {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            first_two.push_str(&line);
+        }
+    } // dropped mid-run
+    let reconnected = subscribe(addr, &fp_a, 2);
+    assert_eq!(format!("{first_two}{reconnected}"), full_a, "reconnect lost or repeated records");
+
+    for s in subscribers {
+        s.join().expect("subscriber thread");
+    }
+    wait_done(addr, &fp_a);
+    wait_done(addr, &fp_b);
+    assert_eq!(
+        handle.jobs_executed(),
+        spec_a.job_count() + spec_b.job_count(),
+        "each campaign's jobs ran exactly once"
+    );
+    assert_eq!(handle.active_pool_tasks(), 0, "finished campaigns must release the pool");
+
+    // The daemon-wide listing names both campaigns as done, with the
+    // shared pool's worker bound.
+    let listing = body(&get(addr, "/status")).to_owned();
+    assert!(listing.contains("\"workers\":2"), "listing: {listing}");
+    for fp in [&fp_a, &fp_b] {
+        let entry = format!("\"fingerprint\":\"{fp}\"");
+        let at = listing.find(&entry).unwrap_or_else(|| panic!("{fp} missing from {listing}"));
+        assert!(listing[at..].starts_with(&entry), "listing: {listing}");
+        let tail = &listing[at..listing[at..].find('}').map(|e| at + e).unwrap_or(listing.len())];
+        assert!(tail.contains("\"state\":\"done\""), "campaign {fp} not done in {listing}");
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn repeat_aggregate_hits_are_served_from_cache() {
+    let spec = spec();
+    let expected = Executor::with_workers(1).run(&spec);
+    let data = scratch("aggcache");
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let fp = fp_of(body(&post(addr, "/submit", &submit_body(&spec))));
+    let status = wait_done(addr, &fp);
+    assert!(body(&status).contains("\"workers\":2"), "per-campaign status: {status}");
+
+    assert_eq!(handle.aggregates_computed(), 0, "no aggregate requested yet");
+    let cold = get(addr, &format!("/aggregate/{fp}"));
+    assert_eq!(body(&cold), expected_aggregate(&expected));
+    assert_eq!(handle.aggregates_computed(), 1, "cold hit computes");
+
+    // Repeat hits answer byte-identically from the cache — the store
+    // is not re-read, the reduction not re-run.
+    for _ in 0..3 {
+        let warm = get(addr, &format!("/aggregate/{fp}"));
+        assert_eq!(body(&warm), body(&cold));
+    }
+    assert_eq!(handle.aggregates_computed(), 1, "repeat hits must be cache hits");
+
+    handle.shutdown();
     let _ = std::fs::remove_dir_all(&data);
 }
 

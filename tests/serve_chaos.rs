@@ -10,7 +10,11 @@
 //!    exactly that job;
 //! 3. an injected mid-stream disconnect drops the client after the Nth
 //!    row, and a `?from=` reconnect recovers the rest with nothing
-//!    missing or repeated.
+//!    missing or repeated;
+//! 4. a campaign killed mid-run by an injected panic releases its
+//!    claimed pool slots immediately (no zombie slots): a second
+//!    campaign running concurrently completes untouched and
+//!    byte-identical, and the pool keeps serving new campaigns.
 //!
 //! These live in their own integration binary (their own process): the
 //! failpoint registry is process-global, and the fault-free serve tests
@@ -214,6 +218,61 @@ fn skip_policy_over_the_wire_contains_the_failure_and_resume_reattempts_it() {
     // The gap-filled store still streams byte-identically.
     let csv = get(addr, &format!("/stream/{fp}?format=csv"));
     assert_eq!(body(&csv), expected_csv);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn poisoned_campaign_releases_its_pool_slots_while_a_concurrent_one_completes() {
+    let _g = guard();
+    // Campaign A has 8 jobs (indices 0..8), campaign B the standard 4
+    // (indices 0..4): arming the failpoint at job index 5 poisons
+    // exactly A — B never presents an index that high.
+    let spec_a = CampaignSpec::new("cli-a", BaseScenario::Small)
+        .stacks(vec![stacks::titan_pc(), stacks::dsr_active()])
+        .rates(vec![2.0, 4.0])
+        .seeds(2)
+        .secs(15);
+    let spec_b = spec();
+    let expected_a_csv = Executor::with_workers(1).run(&spec_a).to_csv();
+    let expected_b = fault_free_jsonl(&spec_b);
+    let data = scratch("zombie");
+
+    fail::set("job.run", FailAction::Panic, 5, false);
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig { data_dir: data.clone(), executor: Executor::with_workers(2) },
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let fp_a = fp_of(body(&post(addr, "/submit", &submit_body(&spec_a, None))));
+    let fp_b = fp_of(body(&post(addr, "/submit", &submit_body(&spec_b, None))));
+
+    // A dies on the injected panic, with the cause in its status...
+    let status = wait_for(addr, &fp_a, "A failed", |b| b.contains("\"state\":\"failed\""));
+    assert!(body(&status).contains("campaign panicked"), "A's status: {status}");
+
+    // ...while B — running concurrently on the same pool — completes
+    // untouched and byte-identical to its solo run.
+    wait_done(addr, &fp_b);
+    assert_eq!(body(&get(addr, &format!("/stream/{fp_b}"))), expected_b);
+
+    // No zombie slots: the dead campaign's pool task deregistered
+    // during the unwind, so nothing is left claiming workers.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while handle.active_pool_tasks() > 0 {
+        assert!(Instant::now() < deadline, "dead campaign still holds pool slots");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // And the pool is still healthy: with the fault cleared, A's
+    // resubmission resumes past its durable prefix and finishes
+    // byte-identically on the same workers.
+    fail::clear();
+    post(addr, "/submit", &submit_body(&spec_a, None));
+    wait_done(addr, &fp_a);
+    assert_eq!(body(&get(addr, &format!("/stream/{fp_a}?format=csv"))), expected_a_csv);
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&data);
