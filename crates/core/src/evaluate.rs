@@ -61,9 +61,23 @@ pub struct NetworkEnergy {
     pub per_node: Vec<EnergyReport>,
     /// Element-wise network total (Eq 4).
     pub total: EnergyReport,
-    /// Application bits delivered over the horizon (all demands, fluid
-    /// model: everything routed is delivered).
+    /// Application bits delivered over the horizon. In the fluid model
+    /// everything routed is delivered — unless a node on the route is
+    /// beyond capacity, in which case the demand is scaled down by the
+    /// bottleneck's overload factor (see [`NetworkEnergy::overloaded`]).
     pub delivered_bits: f64,
+    /// The largest per-node airtime fraction `tx_frac + rx_frac` in the
+    /// design. Values above 1 mean some node is asked to forward more
+    /// traffic than the channel admits.
+    pub max_utilization: f64,
+    /// `true` if any node's airtime fraction exceeds 1. Overloaded designs
+    /// keep their full communication energy but have their delivered bits
+    /// capped, so optimizers cannot reward infeasible routings with
+    /// inflated energy-goodput.
+    pub overloaded: bool,
+    /// The evaluated horizon, seconds (echoed from [`EvalParams`] so
+    /// downstream metrics like lifetime need no extra bookkeeping).
+    pub duration_s: f64,
 }
 
 impl NetworkEnergy {
@@ -82,16 +96,44 @@ impl NetworkEnergy {
             self.delivered_bits / j
         }
     }
+
+    /// Projected time until the first node exhausts a `battery_j`-joule
+    /// battery, assuming every node keeps drawing its average power from
+    /// this evaluation — the LifetimeAware extension's metric, fluid
+    /// counterpart of `RunMetrics::lifetime_to_first_death_s`. Infinite if
+    /// no node consumed energy.
+    pub fn time_to_first_death_s(&self, battery_j: f64) -> f64 {
+        assert!(battery_j > 0.0, "battery must be positive");
+        let max_power_mw = self
+            .per_node
+            .iter()
+            .map(|r| r.total_mj() / self.duration_s)
+            .fold(0.0f64, f64::max);
+        if max_power_mw <= 0.0 {
+            f64::INFINITY
+        } else {
+            battery_j * 1000.0 / max_power_mw
+        }
+    }
 }
 
 /// Evaluates `design` on `problem` under the fluid traffic model.
 ///
 /// # Panics
 ///
-/// Panics if the evaluation duration or bandwidth is not positive.
+/// Panics if the evaluation duration or bandwidth is not positive, or if
+/// `design.routes` and `problem.demands` have different lengths (a design
+/// for a different problem — silently zipping would drop trailing demands).
 pub fn evaluate(problem: &DesignProblem, design: &Design, params: &EvalParams) -> NetworkEnergy {
     assert!(params.duration_s > 0.0, "duration must be positive");
     assert!(params.bandwidth_bps > 0.0, "bandwidth must be positive");
+    assert_eq!(
+        design.routes.len(),
+        problem.demands.len(),
+        "design has {} routes for {} demands — design/problem mismatch",
+        design.routes.len(),
+        problem.demands.len()
+    );
     let inst = &problem.instance;
     let card = inst.card();
     let n = inst.node_count();
@@ -101,11 +143,9 @@ pub fn evaluate(problem: &DesignProblem, design: &Design, params: &EvalParams) -
     let mut tx_frac = vec![0.0f64; n];
     let mut rx_frac = vec![0.0f64; n];
     let mut tx_energy_mj = vec![0.0f64; n];
-    let mut delivered_bits = 0.0;
     for (demand, route) in problem.demands.iter().zip(&design.routes) {
         let Some(route) = route else { continue };
         let util = demand.rate_bps / params.bandwidth_bps;
-        delivered_bits += demand.rate_bps * t;
         for hop in route.windows(2) {
             let (u, v) = (hop[0], hop[1]);
             let d = inst.distance(u, v);
@@ -116,10 +156,28 @@ pub fn evaluate(problem: &DesignProblem, design: &Design, params: &EvalParams) -
         }
     }
 
+    // Second pass: credit delivered bits, scaling each demand down by its
+    // bottleneck node's overload factor. A route whose busiest node has
+    // airtime fraction `busy > 1` can carry at most `1/busy` of the offered
+    // rate, so beyond-capacity designs no longer report inflated
+    // energy-goodput.
+    let mut delivered_bits = 0.0;
+    for (demand, route) in problem.demands.iter().zip(&design.routes) {
+        let Some(route) = route else { continue };
+        let bottleneck = route
+            .iter()
+            .map(|&v| tx_frac[v] + rx_frac[v])
+            .fold(0.0f64, f64::max);
+        let carried = if bottleneck > 1.0 { 1.0 / bottleneck } else { 1.0 };
+        delivered_bits += demand.rate_bps * t * carried;
+    }
+
     let mut per_node = Vec::with_capacity(n);
     let mut total = EnergyReport::default();
+    let mut max_utilization = 0.0f64;
     for v in 0..n {
         let busy = tx_frac[v] + rx_frac[v];
+        max_utilization = max_utilization.max(busy);
         // Beyond-capacity designs (busy > 1) keep their full communication
         // energy — matching the paper's Fig 15/16 projections — but cannot
         // have negative passive time.
@@ -147,7 +205,14 @@ pub fn evaluate(problem: &DesignProblem, design: &Design, params: &EvalParams) -
         total.accumulate(&r);
         per_node.push(r);
     }
-    NetworkEnergy { per_node, total, delivered_bits }
+    NetworkEnergy {
+        per_node,
+        total,
+        delivered_bits,
+        max_utilization,
+        overloaded: max_utilization > 1.0,
+        duration_s: t,
+    }
 }
 
 #[cfg(test)]
@@ -275,5 +340,90 @@ mod tests {
         // Relay node 1: tx 0.75 + rx 0.75 = 1.5 busy -> silent clamped to 0.
         assert_eq!(e.per_node[1].idle_mj, 0.0);
         assert!(e.per_node[1].comm_mj() > 0.0);
+    }
+
+    #[test]
+    fn overload_flags_and_caps_delivered_bits() {
+        let inst = WirelessInstance::new(
+            vec![(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)],
+            cards::cabletron(),
+        );
+        let p = DesignProblem::new(inst, vec![Demand::new(0, 2, 1_500_000.0)]);
+        let d = Heuristic::IdleFirst.design(&p);
+        let e = evaluate(&p, &d, &EvalParams::standard(10.0));
+        // Relay node 1: tx 0.75 + rx 0.75 = 1.5 busy.
+        assert!(e.overloaded);
+        assert!((e.max_utilization - 1.5).abs() < 1e-12);
+        // The bottleneck admits only 1/1.5 of the offered rate.
+        let expect = 1_500_000.0 * 10.0 / 1.5;
+        assert!((e.delivered_bits - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn feasible_design_is_not_overloaded() {
+        let (p, d) = two_node_problem(200_000.0);
+        let e = evaluate(&p, &d, &EvalParams::standard(100.0));
+        assert!(!e.overloaded);
+        // Both nodes carry 0.1 airtime (one tx, one rx).
+        assert!((e.max_utilization - 0.1).abs() < 1e-12);
+        // Below capacity nothing is capped.
+        assert!((e.delivered_bits - 200_000.0 * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overload_cannot_inflate_goodput() {
+        // Pushing the rate beyond channel capacity must not raise
+        // energy-goodput past what the channel can actually carry.
+        let inst = WirelessInstance::new(
+            vec![(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)],
+            cards::cabletron(),
+        );
+        let feasible = {
+            let p = DesignProblem::new(inst.clone(), vec![Demand::new(0, 2, 1_000_000.0)]);
+            let d = Heuristic::IdleFirst.design(&p);
+            evaluate(&p, &d, &EvalParams::standard(10.0))
+        };
+        let overloaded = {
+            let p = DesignProblem::new(inst, vec![Demand::new(0, 2, 4_000_000.0)]);
+            let d = Heuristic::IdleFirst.design(&p);
+            evaluate(&p, &d, &EvalParams::standard(10.0))
+        };
+        assert!(feasible.max_utilization <= 1.0);
+        assert!(overloaded.overloaded);
+        assert!(
+            overloaded.energy_goodput_bit_per_j() <= feasible.energy_goodput_bit_per_j(),
+            "overload must not be rewarded: {} > {}",
+            overloaded.energy_goodput_bit_per_j(),
+            feasible.energy_goodput_bit_per_j()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "design/problem mismatch")]
+    fn route_demand_length_mismatch_rejected() {
+        let (p, d) = two_node_problem(10_000.0);
+        let mut wrong = DesignProblem::new(
+            p.instance.clone(),
+            vec![Demand::new(0, 1, 10_000.0), Demand::new(1, 0, 10_000.0)],
+        );
+        // `d` has one route; `wrong` has two demands. Must not silently
+        // drop the second demand.
+        wrong.demands.truncate(2);
+        evaluate(&wrong, &d, &EvalParams::standard(10.0));
+    }
+
+    #[test]
+    fn time_to_first_death_matches_hand_computation() {
+        let (p, d) = two_node_problem(200_000.0);
+        let e = evaluate(&p, &d, &EvalParams::standard(100.0));
+        let max_power_mw = e
+            .per_node
+            .iter()
+            .map(|r| r.total_mj() / 100.0)
+            .fold(0.0f64, f64::max);
+        let expect = 1000.0 * 1000.0 / max_power_mw;
+        assert!((e.time_to_first_death_s(1000.0) - expect).abs() < 1e-6);
+        // Doubling the battery doubles the projection.
+        assert!((e.time_to_first_death_s(2000.0) - 2.0 * expect).abs() < 1e-6);
     }
 }

@@ -41,4 +41,4 @@ pub mod problem;
 
 pub use design::{Design, Designer, Heuristic};
 pub use evaluate::{EvalParams, NetworkEnergy};
-pub use problem::{Demand, DesignProblem, WirelessInstance};
+pub use problem::{Demand, DesignProblem, ProblemError, WirelessInstance};

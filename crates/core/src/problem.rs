@@ -2,6 +2,56 @@
 
 use eend_graph::Graph;
 use eend_radio::RadioCard;
+use std::fmt;
+
+/// A structured error for invalid problem construction, mirroring
+/// [`eend_graph::GraphError`]: the panicking constructors are thin wrappers
+/// over `try_` variants returning this type, so problems assembled from
+/// untrusted input (CLI flags, files) can report instead of abort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProblemError {
+    /// A demand rate is NaN, infinite, or negative.
+    BadRate {
+        /// The rejected rate, bits per second.
+        rate_bps: f64,
+    },
+    /// A node position has a non-finite coordinate.
+    BadPosition {
+        /// The rejected coordinate pair, metres.
+        x: f64,
+        /// The rejected coordinate pair, metres.
+        y: f64,
+    },
+    /// A demand endpoint is `>= node_count`.
+    EndpointOutOfRange {
+        /// Index of the offending demand.
+        demand: usize,
+        /// Number of nodes in the instance.
+        n: usize,
+    },
+    /// A demand has `source == sink`.
+    SelfDemand {
+        /// Index of the offending demand.
+        demand: usize,
+    },
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProblemError::BadRate { rate_bps } => write!(f, "bad demand rate {rate_bps}"),
+            ProblemError::BadPosition { x, y } => write!(f, "non-finite position ({x}, {y})"),
+            ProblemError::EndpointOutOfRange { demand, n } => {
+                write!(f, "demand {demand} endpoint out of range for {n} nodes")
+            }
+            ProblemError::SelfDemand { demand } => {
+                write!(f, "demand {demand} with identical endpoints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
 
 /// A traffic demand: `rate_bps` bits per second from `source` to `sink`
 /// (the paper's `(sᵢ, dᵢ)` pairs with demand `rᵢ`).
@@ -22,8 +72,20 @@ impl Demand {
     ///
     /// Panics if the rate is negative or non-finite.
     pub fn new(source: usize, sink: usize, rate_bps: f64) -> Demand {
-        assert!(rate_bps.is_finite() && rate_bps >= 0.0, "bad demand rate {rate_bps}");
-        Demand { source, sink, rate_bps }
+        Demand::try_new(source, sink, rate_bps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a demand, returning a [`ProblemError`] on a NaN, infinite,
+    /// or negative rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::BadRate`] for an invalid rate.
+    pub fn try_new(source: usize, sink: usize, rate_bps: f64) -> Result<Demand, ProblemError> {
+        if !rate_bps.is_finite() || rate_bps < 0.0 {
+            return Err(ProblemError::BadRate { rate_bps });
+        }
+        Ok(Demand { source, sink, rate_bps })
     }
 }
 
@@ -46,10 +108,26 @@ impl WirelessInstance {
     ///
     /// Panics if any coordinate is non-finite.
     pub fn new(positions: Vec<(f64, f64)>, card: RadioCard) -> WirelessInstance {
+        WirelessInstance::try_new(positions, card).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an instance, returning a [`ProblemError`] instead of
+    /// panicking on a non-finite coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::BadPosition`] for the first invalid
+    /// coordinate pair.
+    pub fn try_new(
+        positions: Vec<(f64, f64)>,
+        card: RadioCard,
+    ) -> Result<WirelessInstance, ProblemError> {
         for &(x, y) in &positions {
-            assert!(x.is_finite() && y.is_finite(), "non-finite position ({x}, {y})");
+            if !x.is_finite() || !y.is_finite() {
+                return Err(ProblemError::BadPosition { x, y });
+            }
         }
-        WirelessInstance { positions, card }
+        Ok(WirelessInstance { positions, card })
     }
 
     /// Number of nodes.
@@ -113,12 +191,32 @@ impl DesignProblem {
     /// Panics if a demand references a node out of range or has
     /// `source == sink`.
     pub fn new(instance: WirelessInstance, demands: Vec<Demand>) -> DesignProblem {
+        DesignProblem::try_new(instance, demands).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Bundles an instance with demands, returning a [`ProblemError`]
+    /// instead of panicking on invalid endpoints or rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn try_new(
+        instance: WirelessInstance,
+        demands: Vec<Demand>,
+    ) -> Result<DesignProblem, ProblemError> {
         let n = instance.node_count();
-        for d in &demands {
-            assert!(d.source < n && d.sink < n, "demand endpoint out of range");
-            assert_ne!(d.source, d.sink, "demand with identical endpoints");
+        for (i, d) in demands.iter().enumerate() {
+            if !d.rate_bps.is_finite() || d.rate_bps < 0.0 {
+                return Err(ProblemError::BadRate { rate_bps: d.rate_bps });
+            }
+            if d.source >= n || d.sink >= n {
+                return Err(ProblemError::EndpointOutOfRange { demand: i, n });
+            }
+            if d.source == d.sink {
+                return Err(ProblemError::SelfDemand { demand: i });
+            }
         }
-        DesignProblem { instance, demands }
+        Ok(DesignProblem { instance, demands })
     }
 
     /// All demand endpoints (sources and sinks), deduplicated, sorted.
@@ -193,5 +291,34 @@ mod tests {
     #[should_panic(expected = "bad demand rate")]
     fn negative_rate_rejected() {
         Demand::new(0, 1, -5.0);
+    }
+
+    #[test]
+    fn try_constructors_report_structured_errors() {
+        assert!(matches!(
+            Demand::try_new(0, 1, f64::NAN),
+            Err(ProblemError::BadRate { rate_bps }) if rate_bps.is_nan()
+        ));
+        assert!(matches!(
+            WirelessInstance::try_new(vec![(0.0, f64::INFINITY)], cards::cabletron()),
+            Err(ProblemError::BadPosition { .. })
+        ));
+        let inst = line_instance(100.0, 3);
+        assert_eq!(
+            DesignProblem::try_new(inst.clone(), vec![Demand::new(0, 9, 1.0)]).unwrap_err(),
+            ProblemError::EndpointOutOfRange { demand: 0, n: 3 }
+        );
+        assert_eq!(
+            DesignProblem::try_new(inst.clone(), vec![Demand { source: 1, sink: 1, rate_bps: 1.0 }])
+                .unwrap_err(),
+            ProblemError::SelfDemand { demand: 0 }
+        );
+        // A demand mutated after construction is still caught at bundling.
+        assert_eq!(
+            DesignProblem::try_new(inst.clone(), vec![Demand { source: 0, sink: 1, rate_bps: -1.0 }])
+                .unwrap_err(),
+            ProblemError::BadRate { rate_bps: -1.0 }
+        );
+        assert!(DesignProblem::try_new(inst, vec![Demand::new(0, 2, 1.0)]).is_ok());
     }
 }

@@ -1,5 +1,66 @@
 //! The core undirected weighted graph.
 
+use std::fmt;
+
+/// A structured error for invalid graph mutations.
+///
+/// The panicking mutators ([`Graph::add_edge`], [`Graph::set_edge_weight`])
+/// are thin wrappers over the `try_` variants that return this type, so
+/// callers assembling graphs from untrusted input (e.g. a design problem
+/// loaded from disk) can surface the problem instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphError {
+    /// An endpoint index is `>= node_count`.
+    NodeOutOfRange {
+        /// The offending endpoints.
+        u: usize,
+        /// The offending endpoints.
+        v: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// Both endpoints are the same node.
+    SelfLoop {
+        /// The node.
+        u: usize,
+    },
+    /// An edge between the endpoints already exists.
+    DuplicateEdge {
+        /// The endpoints.
+        u: usize,
+        /// The endpoints.
+        v: usize,
+    },
+    /// The weight is NaN, infinite, or negative. Non-finite weights would
+    /// silently poison the `partial_cmp`-based heap ordering in
+    /// [`crate::paths`]; negative weights break Dijkstra's invariant.
+    BadWeight {
+        /// The rejected weight.
+        w: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { u, v, n } => {
+                write!(f, "edge ({u}, {v}) out of range for {n} nodes")
+            }
+            GraphError::SelfLoop { u } => write!(f, "self-loop at node {u}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::BadWeight { w } => {
+                if w.is_finite() {
+                    write!(f, "negative edge weight {w}")
+                } else {
+                    write!(f, "non-finite edge weight {w}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// An undirected edge with a weight, identified by its index in
 /// [`Graph::edges`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,21 +128,38 @@ impl Graph {
     /// # Panics
     ///
     /// Panics on out-of-range endpoints, self-loops, duplicate edges, or a
-    /// non-finite weight.
+    /// non-finite / negative weight. Use [`Graph::try_add_edge`] to get a
+    /// [`GraphError`] instead.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> usize {
+        self.try_add_edge(u, v, w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds an undirected edge and returns its id, or a [`GraphError`]
+    /// describing why the edge is invalid (out-of-range endpoint, self-loop,
+    /// duplicate, or a non-finite / negative weight).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant; the graph is unchanged on error.
+    pub fn try_add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<usize, GraphError> {
         let n = self.node_count();
-        assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} nodes");
-        assert_ne!(u, v, "self-loop at node {u}");
-        assert!(w.is_finite(), "non-finite edge weight {w}");
-        assert!(
-            self.edge_between(u, v).is_none(),
-            "duplicate edge ({u}, {v})"
-        );
+        if u >= n || v >= n {
+            return Err(GraphError::NodeOutOfRange { u, v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { u });
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(GraphError::BadWeight { w });
+        }
+        if self.edge_between(u, v).is_some() {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
         let id = self.edges.len();
         self.edges.push(Edge { u, v, w });
         self.adj[u].push((v, id));
         self.adj[v].push((u, id));
-        id
+        Ok(id)
     }
 
     /// The edge with the given id.
@@ -99,8 +177,16 @@ impl Graph {
     }
 
     /// Replaces the weight of edge `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite / negative weight.
     pub fn set_edge_weight(&mut self, id: usize, w: f64) {
-        assert!(w.is_finite(), "non-finite edge weight {w}");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "{}",
+            GraphError::BadWeight { w }
+        );
         self.edges[id].w = w;
     }
 
@@ -226,6 +312,59 @@ mod tests {
     fn self_loops_rejected() {
         let mut g = Graph::new(2);
         g.add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative edge weight")]
+    fn negative_weights_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite edge weight")]
+    fn nan_weights_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn try_add_edge_reports_structured_errors() {
+        let mut g = triangle();
+        assert_eq!(
+            g.try_add_edge(0, 5, 1.0),
+            Err(GraphError::NodeOutOfRange { u: 0, v: 5, n: 3 })
+        );
+        assert_eq!(g.try_add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { u: 1 }));
+        assert_eq!(
+            g.try_add_edge(0, 1, 1.0),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        );
+        let err = g.try_add_edge(1, 2, f64::INFINITY); // also a duplicate: weight checked first
+        assert!(matches!(err, Err(GraphError::BadWeight { .. })));
+        assert!(matches!(
+            g.try_add_edge(0, 1, -2.5),
+            Err(GraphError::BadWeight { .. })
+        ));
+        // Errors leave the graph untouched; a valid insert still works.
+        assert_eq!(g.edge_count(), 3);
+        let mut g2 = Graph::new(4);
+        assert_eq!(g2.try_add_edge(0, 3, 2.0), Ok(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative edge weight")]
+    fn set_edge_weight_rejects_negative() {
+        let mut g = triangle();
+        g.set_edge_weight(0, -4.0);
+    }
+
+    #[test]
+    fn graph_error_display() {
+        let e = GraphError::BadWeight { w: f64::NAN };
+        assert!(e.to_string().contains("non-finite"));
+        let e = GraphError::BadWeight { w: -1.0 };
+        assert!(e.to_string().contains("negative"));
     }
 
     #[test]

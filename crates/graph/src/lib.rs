@@ -43,5 +43,5 @@ pub mod paths;
 pub mod steiner;
 
 pub use dsu::DisjointSets;
-pub use graph::{Edge, Graph};
+pub use graph::{Edge, Graph, GraphError};
 pub use steiner::SteinerSolution;

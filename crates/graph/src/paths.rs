@@ -122,6 +122,119 @@ pub fn shortest_path(g: &Graph, src: usize, dst: usize) -> Option<(f64, Vec<usiz
     sp.path_to(dst).map(|p| (sp.dist[dst], p))
 }
 
+/// The `k` cheapest loopless paths from `src` to `dst` under caller-supplied
+/// edge and node-entry costs, as `(cost, node_sequence)` sorted by cost
+/// (ties broken lexicographically by node sequence, so the result is
+/// deterministic). Returns fewer than `k` entries if the graph does not
+/// contain that many distinct simple paths.
+///
+/// This is Yen's algorithm layered on [`dijkstra_with`]: deviations are
+/// explored by banning, at each spur node of the previous path, the next
+/// edges of all already-found paths sharing the same prefix, plus every
+/// prefix node. Cost semantics match [`dijkstra_with`]: a path costs
+/// `Σ edge_cost + Σ node_cost(v)` over every node after `src`.
+///
+/// # Panics
+///
+/// Panics if `src`/`dst` are out of range or any queried cost is
+/// negative/NaN.
+pub fn k_shortest_paths(
+    g: &Graph,
+    src: usize,
+    dst: usize,
+    k: usize,
+    mut edge_cost: impl FnMut(usize, usize, usize) -> f64,
+    mut node_cost: impl FnMut(usize) -> f64,
+) -> Vec<(f64, Vec<usize>)> {
+    let n = g.node_count();
+    assert!(src < n && dst < n, "endpoints ({src}, {dst}) out of range for {n} nodes");
+    if k == 0 {
+        return Vec::new();
+    }
+    let path_cost = |path: &[usize], ec: &mut dyn FnMut(usize, usize, usize) -> f64, nc: &mut dyn FnMut(usize) -> f64| {
+        let mut c = 0.0;
+        for w in path.windows(2) {
+            let eid = g.edge_between(w[0], w[1]).expect("path uses real edges");
+            c += ec(eid, w[0], w[1]) + nc(w[1]);
+        }
+        c
+    };
+
+    let sp = dijkstra_with(g, src, &mut edge_cost, &mut node_cost);
+    let Some(first) = sp.path_to(dst) else {
+        return Vec::new();
+    };
+    let mut found: Vec<(f64, Vec<usize>)> = vec![(sp.dist[dst], first)];
+    // Candidate deviations not yet promoted, kept sorted for determinism.
+    let mut candidates: Vec<(f64, Vec<usize>)> = Vec::new();
+
+    while found.len() < k {
+        let prev = found.last().expect("at least the shortest path").1.clone();
+        for i in 0..prev.len() - 1 {
+            let spur = prev[i];
+            let root = &prev[..=i];
+            // Ban the continuation edge of every found path sharing this
+            // root, and every root node before the spur, then search for a
+            // spur-to-dst path in what remains.
+            let mut banned_edges = Vec::new();
+            for (_, p) in &found {
+                if p.len() > i + 1 && p[..=i] == *root {
+                    if let Some(eid) = g.edge_between(p[i], p[i + 1]) {
+                        banned_edges.push(eid);
+                    }
+                }
+            }
+            let banned_nodes = &prev[..i];
+            let spur_sp = dijkstra_with(
+                g,
+                spur,
+                |eid, u, v| {
+                    if banned_edges.contains(&eid) {
+                        f64::INFINITY
+                    } else {
+                        edge_cost(eid, u, v)
+                    }
+                },
+                |v| {
+                    if banned_nodes.contains(&v) {
+                        f64::INFINITY
+                    } else {
+                        node_cost(v)
+                    }
+                },
+            );
+            let Some(spur_path) = spur_sp.path_to(dst) else {
+                continue;
+            };
+            let mut total: Vec<usize> = root[..i].to_vec();
+            total.extend_from_slice(&spur_path);
+            let cost = path_cost(&total, &mut edge_cost, &mut node_cost);
+            if !cost.is_finite() {
+                continue; // spur path leaked through a banned (infinite) edge
+            }
+            if found.iter().any(|(_, p)| *p == total)
+                || candidates.iter().any(|(_, p)| *p == total)
+            {
+                continue;
+            }
+            candidates.push((cost, total));
+        }
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+        });
+        if candidates.is_empty() {
+            break;
+        }
+        found.push(candidates.remove(0));
+    }
+    found
+}
+
+/// The `k` cheapest loopless paths under the graph's stored edge weights.
+pub fn k_shortest(g: &Graph, src: usize, dst: usize, k: usize) -> Vec<(f64, Vec<usize>)> {
+    k_shortest_paths(g, src, dst, k, |e, _, _| g.edge(e).w, |_| 0.0)
+}
+
 /// Hop distances from `src` (ignoring weights); `usize::MAX` if unreachable.
 pub fn bfs_hops(g: &Graph, src: usize) -> Vec<usize> {
     let n = g.node_count();
@@ -222,6 +335,90 @@ mod tests {
         );
         assert_eq!(sp.path_to(3), Some(vec![0, 2, 3]));
         assert_eq!(sp.dist[3], 2.5);
+    }
+
+    #[test]
+    fn k_shortest_enumerates_diamond() {
+        // Simple paths 0→3: [0,1,3] cost 2.0, [0,2,3] cost 2.5.
+        let g = diamond();
+        let ks = k_shortest(&g, 0, 3, 5);
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0], (2.0, vec![0, 1, 3]));
+        assert_eq!(ks[1], (2.5, vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn k_shortest_limits_to_k() {
+        let g = diamond();
+        let ks = k_shortest(&g, 0, 3, 1);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].1, vec![0, 1, 3]);
+        assert!(k_shortest(&g, 0, 3, 0).is_empty());
+    }
+
+    #[test]
+    fn k_shortest_unreachable_is_empty() {
+        let g = Graph::new(3);
+        assert!(k_shortest(&g, 0, 2, 3).is_empty());
+    }
+
+    #[test]
+    fn k_shortest_respects_node_costs() {
+        // A heavy node cost on 1 must reorder the two diamond branches.
+        let g = diamond();
+        let ks = k_shortest_paths(
+            &g,
+            0,
+            3,
+            2,
+            |e, _, _| g.edge(e).w,
+            |v| if v == 1 { 10.0 } else { 0.0 },
+        );
+        assert_eq!(ks[0].1, vec![0, 2, 3]);
+        assert_eq!(ks[1].1, vec![0, 1, 3]);
+        assert!((ks[0].0 - 2.5).abs() < 1e-12);
+        assert!((ks[1].0 - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_shortest_on_grid_is_sorted_simple_and_distinct() {
+        // 3×3 grid, unit weights: plenty of alternative routes.
+        let mut g = Graph::new(9);
+        for r in 0..3 {
+            for c in 0..3 {
+                let v = r * 3 + c;
+                if c + 1 < 3 {
+                    g.add_edge(v, v + 1, 1.0);
+                }
+                if r + 1 < 3 {
+                    g.add_edge(v, v + 3, 1.0);
+                }
+            }
+        }
+        let ks = k_shortest(&g, 0, 8, 8);
+        assert_eq!(ks.len(), 8);
+        for pair in ks.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "costs must be non-decreasing");
+            assert_ne!(pair[0].1, pair[1].1, "paths must be distinct");
+        }
+        // The six shortest are the 4-hop monotone lattice paths.
+        for (cost, path) in &ks[..6] {
+            assert_eq!(*cost, 4.0);
+            assert_eq!(path.len(), 5);
+        }
+        for (cost, path) in &ks {
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().unwrap(), 8);
+            let mut uniq = path.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), path.len(), "paths must be loopless");
+            let mut sum = 0.0;
+            for w in path.windows(2) {
+                sum += g.edge(g.edge_between(w[0], w[1]).unwrap()).w;
+            }
+            assert!((sum - cost).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Fluid-vs-packet cross-validation: for feasible designs on randomly
+//! jittered connected topologies, the fluid oracle and the packet-level
+//! oracle must agree on feasibility and on the gross shape of the score —
+//! nonzero delivery, nonzero energy, and delivered bits that the packet
+//! simulator cannot exceed (the fluid model delivers the full offered
+//! load; the simulator starts flows late and may drop).
+//!
+//! Cases run on a jittered grid so connectivity (and hence feasibility)
+//! holds by construction; the vendored proptest derives its case stream
+//! from the test name, so every tier-1 run sees the same topologies.
+
+use eend_campaign::Executor;
+use eend_core::design::{Designer, Heuristic};
+use eend_core::problem::{Demand, DesignProblem, WirelessInstance};
+use eend_opt::{EvalOracle, FluidOracle, SimOracle};
+use eend_radio::cards;
+use proptest::prelude::*;
+
+/// A `rows`×`cols` grid at 150 m spacing with bounded per-node jitter —
+/// neighbours stay inside the Cabletron 250 m range, so the instance is
+/// always connected.
+fn jittered_grid(rows: usize, cols: usize, jitter: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut positions = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let (jx, jy) = jitter[(r * cols + c) % jitter.len()];
+            positions.push((c as f64 * 150.0 + jx * 20.0, r as f64 * 150.0 + jy * 20.0));
+        }
+    }
+    positions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn fluid_and_packet_oracles_agree_on_shape(
+        jitter in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 4..12),
+        rate_kbps in 2.0f64..10.0,
+        sink_off in 0usize..3,
+    ) {
+        let rows = 3;
+        let cols = 3;
+        let positions = jittered_grid(rows, cols, &jitter);
+        let n = positions.len();
+        let inst = WirelessInstance::new(positions, cards::cabletron());
+        let problem = DesignProblem::new(
+            inst,
+            vec![Demand::new(0, n - 1 - sink_off, rate_kbps * 1000.0)],
+        );
+        let design = Heuristic::IdleFirst.design(&problem);
+        prop_assume!(design.is_feasible());
+
+        let duration = 40.0;
+        let fluid = FluidOracle::standard(duration).evaluate(&problem, &design);
+        let sim = SimOracle::new(duration, vec![1], Executor::with_workers(2))
+            .evaluate(&problem, &design);
+
+        // Feasibility must be judged identically.
+        prop_assert_eq!(fluid.overloaded, sim.overloaded);
+        prop_assert_eq!(fluid.unrouted, 0u32);
+        prop_assert_eq!(sim.unrouted, 0u32);
+
+        // Both models must see traffic flow and energy burn.
+        prop_assert!(fluid.delivered_bits > 0.0);
+        prop_assert!(sim.delivered_bits > 0.0, "packet sim delivered nothing: {:?}", sim);
+        prop_assert!(fluid.enetwork_j > 0.0);
+        prop_assert!(sim.enetwork_j > 0.0);
+
+        // The fluid model delivers the entire offered load for the full
+        // horizon; the packet sim starts flows at t≈1–2 s and may queue or
+        // drop, so it can never deliver meaningfully more.
+        prop_assert!(
+            sim.delivered_bits <= fluid.delivered_bits * 1.05,
+            "sim delivered {} > fluid bound {}", sim.delivered_bits, fluid.delivered_bits
+        );
+        // …but over a quiet CBR flow it must get most of it through.
+        prop_assert!(
+            sim.delivered_bits >= fluid.delivered_bits * 0.5,
+            "sim delivered {} < half of fluid {}", sim.delivered_bits, fluid.delivered_bits
+        );
+
+        // Energy: the models differ (the sim pays MAC/beacon overheads the
+        // fluid model abstracts away) but must live on the same order of
+        // magnitude for a design this small.
+        let ratio = sim.enetwork_j / fluid.enetwork_j;
+        prop_assert!(
+            (0.2..=5.0).contains(&ratio),
+            "energy diverged: sim {} vs fluid {} (ratio {ratio})",
+            sim.enetwork_j, fluid.enetwork_j
+        );
+    }
+}

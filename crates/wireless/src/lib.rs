@@ -60,7 +60,7 @@ pub use metrics::RunMetrics;
 pub use mobility::Mobility;
 pub use power::{PmMode, PowerPolicy, PsmConfig, TitanConfig};
 pub use projection::{project, Projection, ProjectionParams, Scheduling};
-pub use routing::{DsdvConfig, ReactiveConfig, RouteMetric};
+pub use routing::{DsdvConfig, ReactiveConfig, RouteMetric, StaticConfig, StaticRouting};
 pub use runner::{QueueStats, Simulator};
 pub use scenario::{
     radio_profiles, stacks, CardAssignment, ProtocolStack, RoutingKind, Scenario,

@@ -8,6 +8,7 @@
 //! importantly — unit-testable without a running simulation.
 
 pub mod dsdv;
+pub mod fixed;
 pub mod metric;
 pub mod reactive;
 
@@ -18,6 +19,7 @@ use eend_radio::RadioCard;
 use eend_sim::{SimRng, SimTime};
 
 pub use dsdv::{DsdvConfig, DsdvRouting};
+pub use fixed::{StaticConfig, StaticRouting};
 pub use metric::RouteMetric;
 pub use reactive::{ReactiveConfig, ReactiveRouting};
 
@@ -112,6 +114,8 @@ pub enum RoutingAgent {
     Reactive(ReactiveRouting),
     /// DSDV-family proactive distance vector.
     Dsdv(DsdvRouting),
+    /// Fixed per-flow source routes (the design↔simulate loop's oracle).
+    Static(StaticRouting),
 }
 
 impl RoutingAgent {
@@ -126,6 +130,7 @@ impl RoutingAgent {
         match self {
             RoutingAgent::Reactive(r) => r.on_app_packet_into(ctx, packet, out),
             RoutingAgent::Dsdv(d) => d.on_app_packet_into(ctx, packet, out),
+            RoutingAgent::Static(s) => s.on_app_packet_into(ctx, packet, out),
         }
     }
 
@@ -134,6 +139,7 @@ impl RoutingAgent {
         match self {
             RoutingAgent::Reactive(r) => r.on_frame_into(ctx, frame, out),
             RoutingAgent::Dsdv(d) => d.on_frame_into(ctx, frame, out),
+            RoutingAgent::Static(s) => s.on_frame_into(ctx, frame, out),
         }
     }
 
@@ -146,6 +152,7 @@ impl RoutingAgent {
         match self {
             RoutingAgent::Reactive(r) => r.on_broadcast_into(ctx, frame, out),
             RoutingAgent::Dsdv(d) => d.on_broadcast_into(ctx, frame, out),
+            RoutingAgent::Static(s) => s.on_broadcast_into(ctx, frame, out),
         }
     }
 
@@ -154,6 +161,7 @@ impl RoutingAgent {
         match self {
             RoutingAgent::Reactive(r) => r.on_timer_into(ctx, kind, out),
             RoutingAgent::Dsdv(d) => d.on_timer_into(ctx, kind, out),
+            RoutingAgent::Static(s) => s.on_timer_into(ctx, kind, out),
         }
     }
 
@@ -162,13 +170,14 @@ impl RoutingAgent {
         match self {
             RoutingAgent::Reactive(r) => r.on_link_failure_into(ctx, frame, out),
             RoutingAgent::Dsdv(d) => d.on_link_failure_into(ctx, frame, out),
+            RoutingAgent::Static(s) => s.on_link_failure_into(ctx, frame, out),
         }
     }
 
     /// This node's power-management mode changed (DSDVH's trigger).
     pub fn on_pm_changed(&mut self, ctx: &mut RoutingCtx<'_>, mode: PmMode, out: &mut Vec<Action>) {
         match self {
-            RoutingAgent::Reactive(_) => {}
+            RoutingAgent::Reactive(_) | RoutingAgent::Static(_) => {}
             RoutingAgent::Dsdv(d) => d.on_pm_changed_into(ctx, mode, out),
         }
     }

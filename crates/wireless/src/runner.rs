@@ -17,7 +17,8 @@ use crate::mac::{plan_at, MacState, MacTiming, UnicastPlan};
 use crate::metrics::RunMetrics;
 use crate::power::{NodePm, PmMode, PowerPolicy};
 use crate::routing::{
-    Action, DropReason, DsdvRouting, ReactiveRouting, RoutingAgent, RoutingCtx, TimerKind,
+    Action, DropReason, DsdvRouting, ReactiveRouting, RoutingAgent, RoutingCtx, StaticRouting,
+    TimerKind,
 };
 use crate::scenario::{RoutingKind, Scenario};
 use crate::traffic::Flow;
@@ -257,6 +258,9 @@ impl Simulator {
                         RoutingAgent::Reactive(ReactiveRouting::new(*cfg))
                     }
                     RoutingKind::Dsdv(cfg) => RoutingAgent::Dsdv(DsdvRouting::new(*cfg)),
+                    RoutingKind::Static(cfg) => {
+                        RoutingAgent::Static(StaticRouting::new(cfg.clone()))
+                    }
                 },
                 txn: None,
             })

@@ -2,7 +2,7 @@
 
 use crate::mac::MacTiming;
 use crate::power::{PowerPolicy, PsmConfig, TitanConfig};
-use crate::routing::{DsdvConfig, ReactiveConfig, RouteMetric};
+use crate::routing::{DsdvConfig, ReactiveConfig, RouteMetric, StaticConfig};
 use crate::topology::Placement;
 use crate::traffic::FlowSpec;
 use eend_radio::RadioCard;
@@ -15,6 +15,10 @@ pub enum RoutingKind {
     Reactive(ReactiveConfig),
     /// DSDV-family proactive distance vector.
     Dsdv(DsdvConfig),
+    /// Fixed per-flow source routes — no discovery, no control traffic.
+    /// Used by the design↔simulate loop to score a designer's exact
+    /// routing under the full MAC/PHY/power machinery.
+    Static(StaticConfig),
 }
 
 /// A complete protocol stack: routing × power management × power control —
@@ -175,6 +179,25 @@ pub mod stacks {
             power_policy: PowerPolicy::odpm_fast(),
             psm: PsmConfig::span_improved(),
             power_control: true,
+        }
+    }
+
+    /// Fixed per-flow source routes (the design↔simulate loop's stack):
+    /// no discovery or advertisement traffic, ODPM power management (or
+    /// always-active when `odpm` is false), optional power control.
+    /// Not part of [`stacks::all`] — it is parameterised by a route table,
+    /// not a named point of the paper's evaluation.
+    pub fn fixed_routes(
+        routes: Vec<Option<Vec<crate::frame::NodeId>>>,
+        odpm: bool,
+        pc: bool,
+    ) -> ProtocolStack {
+        ProtocolStack {
+            name: if odpm { "Static-ODPM" } else { "Static-Active" }.to_owned(),
+            routing: RoutingKind::Static(StaticConfig::new(routes)),
+            power_policy: if odpm { PowerPolicy::odpm_paper() } else { PowerPolicy::AlwaysActive },
+            psm: PsmConfig::paper_default(),
+            power_control: pc,
         }
     }
 

@@ -100,6 +100,30 @@
 //! serial + concurrent pair per listed concurrency level and emits the
 //! scaling record. SIGTERM/ctrl-c mid-run drains the daemon cleanly
 //! (in-flight records land durably) and exits 0.
+//!
+//! Design mode — the design↔simulate loop: deterministic metaheuristic
+//! search over designs for a named case-study instance, scored through a
+//! cached evaluation oracle:
+//!
+//! ```text
+//! eend-cli design [--instance grid7|random30|random50]
+//!                 [--heuristic all|mtpr|mtpr+|joint|idlefirst|mpc|lifetime]
+//!                 [--search multistart|anneal] [--seed N] [--budget K]
+//!                 [--objective energy|goodput|lifetime] [--oracle fluid|sim]
+//!                 [--secs S] [--sim-seeds N] [--out DIR] [--check-improves]
+//!                 [--list-instances]
+//! ```
+//!
+//! The JSONL search trace (one line per oracle evaluation) streams to
+//! stdout; the summary (per-heuristic baselines, winner, cache counters)
+//! goes to stderr. `--out DIR` additionally persists `trace.jsonl` and
+//! `winner.json` (both written atomically) and memoizes every score in
+//! `DIR/cache/` keyed by design fingerprint — an identical re-run answers
+//! entirely from the cache, executing **zero** evaluations, and replays
+//! the byte-identical trace. `--heuristic NAME` skips the search and
+//! scores that single constructive design (a baseline probe).
+//! `--check-improves` exits non-zero if the search winner is worse than
+//! the best single-shot heuristic — the loop-closing guarantee CI holds.
 
 use eend::campaign::serve::{serve, ServeConfig};
 use eend::campaign::store::Manifest;
@@ -1714,6 +1738,296 @@ fn loadgen_analysis(rounds: &[LoadgenRound], host_cores: usize) -> String {
     }
 }
 
+/// Options of the `design` subcommand.
+struct DesignOpts {
+    instance: String,
+    heuristic: String,
+    search: String,
+    seed: u64,
+    budget: u64,
+    objective: String,
+    oracle: String,
+    secs: f64,
+    sim_seeds: u64,
+    workers: Option<usize>,
+    out: Option<String>,
+    check_improves: bool,
+}
+
+fn design_usage() -> ! {
+    eprintln!(
+        "usage: eend-cli design [--instance grid7|random30|random50]\n\
+         \u{20}                      [--heuristic all|mtpr|mtpr+|joint|idlefirst|mpc|lifetime]\n\
+         \u{20}                      [--search multistart|anneal] [--seed N] [--budget K]\n\
+         \u{20}                      [--objective energy|goodput|lifetime]\n\
+         \u{20}                      [--oracle fluid|sim] [--secs S] [--sim-seeds N]\n\
+         \u{20}                      [--workers W] [--out DIR] [--check-improves]\n\
+         \u{20}                      [--list-instances]\n\
+         \u{20}  trace JSONL streams to stdout; the summary goes to stderr\n\
+         \u{20}  --out DIR persists trace.jsonl + winner.json and caches every\n\
+         \u{20}  score under DIR/cache — an identical re-run executes 0 evaluations\n\
+         \u{20}  --heuristic NAME scores that single constructive design instead\n\
+         \u{20}  --check-improves exits 1 if the winner is worse than every-start best"
+    );
+    std::process::exit(2)
+}
+
+fn parse_design(args: impl Iterator<Item = String>) -> DesignOpts {
+    let mut o = DesignOpts {
+        instance: "grid7".into(),
+        heuristic: "all".into(),
+        search: "multistart".into(),
+        seed: 1,
+        budget: 200,
+        objective: "energy".into(),
+        oracle: "fluid".into(),
+        secs: 900.0,
+        sim_seeds: 2,
+        workers: None,
+        out: None,
+        check_improves: false,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                design_usage()
+            })
+        };
+        match a.as_str() {
+            "--instance" => o.instance = val("--instance"),
+            "--heuristic" => o.heuristic = val("--heuristic").to_ascii_lowercase(),
+            "--search" => o.search = val("--search"),
+            "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| design_usage()),
+            "--budget" => o.budget = val("--budget").parse().unwrap_or_else(|_| design_usage()),
+            "--objective" => o.objective = val("--objective"),
+            "--oracle" => o.oracle = val("--oracle"),
+            "--secs" => o.secs = val("--secs").parse().unwrap_or_else(|_| design_usage()),
+            "--sim-seeds" => {
+                o.sim_seeds = val("--sim-seeds").parse().unwrap_or_else(|_| design_usage())
+            }
+            "--workers" => {
+                o.workers = Some(val("--workers").parse().unwrap_or_else(|_| design_usage()))
+            }
+            "--out" => o.out = Some(val("--out")),
+            "--check-improves" => o.check_improves = true,
+            "--list-instances" => {
+                for name in eend::opt::instances::NAMES {
+                    println!("{name}");
+                }
+                std::process::exit(0)
+            }
+            "--help" | "-h" => design_usage(),
+            other => {
+                eprintln!("error: unknown design argument {other}");
+                design_usage()
+            }
+        }
+    }
+    if o.budget == 0 || o.secs <= 0.0 || o.sim_seeds == 0 {
+        design_usage()
+    }
+    o
+}
+
+/// Maps a CLI heuristic name to the designer (`None` means `all`: search).
+fn design_heuristic(name: &str) -> Option<eend::core::design::Heuristic> {
+    use eend::core::design::{CommMetric, Heuristic};
+    match name {
+        "all" => None,
+        "mtpr" => Some(Heuristic::CommFirst(CommMetric::RadiatedPower)),
+        "mtpr+" => Some(Heuristic::CommFirst(CommMetric::TotalPower)),
+        "joint" => Some(Heuristic::Joint { use_rate: true, bandwidth_bps: 2_000_000.0 }),
+        "idlefirst" => Some(Heuristic::IdleFirst),
+        "mpc" | "mpc-steiner" => Some(Heuristic::MpcSteiner),
+        "lifetime" | "lifetimeaware" => {
+            Some(Heuristic::LifetimeAware { bandwidth_bps: 2_000_000.0 })
+        }
+        other => {
+            eprintln!("error: unknown heuristic {other:?}");
+            design_usage()
+        }
+    }
+}
+
+/// Renders the winning design as a small JSON document.
+fn render_winner(
+    o: &DesignOpts,
+    fp: u64,
+    score: &eend::opt::Score,
+    objective_value: f64,
+    design: &eend::core::design::Design,
+) -> String {
+    let routes: Vec<String> = design
+        .routes
+        .iter()
+        .map(|r| match r {
+            None => "null".to_owned(),
+            Some(path) => {
+                let hops: Vec<String> = path.iter().map(usize::to_string).collect();
+                format!("[{}]", hops.join(","))
+            }
+        })
+        .collect();
+    let awake: Vec<String> = design
+        .active
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a)
+        .map(|(i, _)| i.to_string())
+        .collect();
+    let ttfd = if score.ttfd_s.is_finite() { score.ttfd_s.to_string() } else { "null".into() };
+    format!(
+        concat!(
+            "{{\"instance\":\"{}\",\"search\":\"{}\",\"seed\":{},\"budget\":{},",
+            "\"objective\":\"{}\",\"fp\":\"{:016x}\",\"enetwork_j\":{},",
+            "\"delivered_bits\":{},\"ttfd_s\":{},\"objective_value\":{},",
+            "\"routes\":[{}],\"active\":[{}]}}\n"
+        ),
+        o.instance,
+        if design_heuristic(&o.heuristic).is_some() { &o.heuristic } else { &o.search },
+        o.seed,
+        o.budget,
+        o.objective,
+        fp,
+        score.enetwork_j,
+        score.delivered_bits,
+        ttfd,
+        objective_value,
+        routes.join(","),
+        awake.join(",")
+    )
+}
+
+/// The shared driver behind `eend-cli design`, generic over the inner
+/// oracle (fluid or packet-sim).
+fn drive_design<O: eend::opt::EvalOracle>(o: &DesignOpts, inner: O) {
+    use eend::core::design::Designer;
+    use eend::opt::{
+        anneal, design_fingerprint, multistart, problem_fingerprint, CachedOracle, EvalOracle,
+        Objective, SearchOpts, TraceEvent,
+    };
+
+    let Some(problem) = eend::opt::instances::by_name(&o.instance) else {
+        eprintln!("error: unknown instance {:?} (try --list-instances)", o.instance);
+        design_usage()
+    };
+    let Some(objective) = Objective::parse(&o.objective) else {
+        eprintln!("error: unknown objective {:?}", o.objective);
+        design_usage()
+    };
+    let problem_fp = problem_fingerprint(&problem);
+    let label = inner.label();
+    let mut oracle = match &o.out {
+        Some(dir) => {
+            let cache_dir = std::path::Path::new(dir).join("cache");
+            CachedOracle::on_disk(inner, &cache_dir, problem_fp).unwrap_or_else(|e| {
+                eprintln!("error: cannot open eval cache: {e}");
+                std::process::exit(1)
+            })
+        }
+        None => CachedOracle::in_memory(inner),
+    };
+
+    let opts =
+        SearchOpts { seed: o.seed, budget: o.budget, objective, ..SearchOpts::new() };
+    let result = match design_heuristic(&o.heuristic) {
+        Some(h) => {
+            // Baseline probe: score one constructive design, no search.
+            let design = h.design(&problem);
+            let score = oracle.evaluate(&problem, &design);
+            let objective_value = objective.value(&score);
+            let ev = TraceEvent {
+                iter: 0,
+                kind: format!("start:{}", h.name()),
+                fp: design_fingerprint(&problem, &design),
+                enetwork_j: score.enetwork_j,
+                objective: objective_value,
+                accepted: true,
+                best: true,
+            };
+            eend::opt::SearchResult {
+                best_design: design,
+                best_score: score,
+                best_objective: objective_value,
+                baselines: vec![(h.name(), score)],
+                trace: vec![ev],
+                evals: 1,
+            }
+        }
+        None => match o.search.as_str() {
+            "multistart" => multistart(&problem, &mut oracle, &opts),
+            "anneal" => anneal(&problem, &mut oracle, &opts),
+            other => {
+                eprintln!("error: unknown search strategy {other:?}");
+                design_usage()
+            }
+        },
+    };
+
+    let trace = result.trace_jsonl();
+    print!("{trace}");
+    let winner_fp = design_fingerprint(&problem, &result.best_design);
+    let winner =
+        render_winner(o, winner_fp, &result.best_score, result.best_objective, &result.best_design);
+    if let Some(dir) = &o.out {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1)
+        });
+        write_atomic(&dir.join("trace.jsonl"), trace.as_bytes()).expect("write trace");
+        write_atomic(&dir.join("winner.json"), winner.as_bytes()).expect("write winner");
+    }
+
+    eprintln!(
+        "instance {} ({} nodes, {} demands), oracle {label}, objective {}",
+        o.instance,
+        problem.instance.node_count(),
+        problem.demands.len(),
+        objective.name()
+    );
+    let mut best_baseline = f64::INFINITY;
+    for (name, score) in &result.baselines {
+        let v = objective.value(score);
+        best_baseline = best_baseline.min(v);
+        eprintln!("baseline {name}: Enetwork {:.1} J (objective {v:.4})", score.enetwork_j);
+    }
+    eprintln!(
+        "winner: Enetwork {:.1} J, objective {:.4}, fingerprint {winner_fp:016x}",
+        result.best_score.enetwork_j, result.best_objective
+    );
+    eprintln!(
+        "{} oracle evaluation(s) executed, {} served from cache",
+        oracle.inner().calls(),
+        oracle.hits()
+    );
+    if o.check_improves && result.best_objective > best_baseline {
+        eprintln!(
+            "error: winner objective {} is worse than the best single-shot heuristic {}",
+            result.best_objective, best_baseline
+        );
+        std::process::exit(1)
+    }
+}
+
+fn run_design(o: DesignOpts) {
+    match o.oracle.as_str() {
+        "fluid" => drive_design(&o, eend::opt::FluidOracle::standard(o.secs)),
+        "sim" => {
+            let executor =
+                o.workers.map(Executor::with_workers).unwrap_or_else(Executor::bounded);
+            let seeds: Vec<u64> = (1..=o.sim_seeds).collect();
+            drive_design(&o, eend::opt::SimOracle::new(o.secs, seeds, executor))
+        }
+        other => {
+            eprintln!("error: unknown oracle {other:?}");
+            design_usage()
+        }
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("campaign") {
@@ -1731,6 +2045,10 @@ fn main() {
     if args.peek().map(String::as_str) == Some("loadgen") {
         args.next();
         return run_loadgen(parse_loadgen(args));
+    }
+    if args.peek().map(String::as_str) == Some("design") {
+        args.next();
+        return run_design(parse_design(args));
     }
     let o = parse();
     let Some(stack) = stacks::by_name(&o.stack) else {

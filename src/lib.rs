@@ -20,6 +20,7 @@
 //! | [`wireless`] | `eend-wireless` | the packet-level simulator |
 //! | [`stats`] | `eend-stats` | run summaries, 95 % CIs, tables |
 //! | [`campaign`] | `eend-campaign` | scenario-matrix sweeps, bounded executor |
+//! | [`opt`] | `eend-opt` | design-space search, evaluation oracles + cache |
 //! | [`fail`] | `eend-fail` | deterministic failpoints for chaos tests |
 //!
 //! # Quick start
@@ -43,6 +44,7 @@ pub use eend_campaign as campaign;
 pub use eend_core as core;
 pub use eend_fail as fail;
 pub use eend_graph as graph;
+pub use eend_opt as opt;
 pub use eend_radio as radio;
 pub use eend_sim as sim;
 pub use eend_stats as stats;
